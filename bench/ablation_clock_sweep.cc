@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: generalizes Figure 7 across the full clock-discipline
+ * spectrum — DTP (~150 ns), hardware PTP (<1 us), software PTP
+ * (~53 us), NTP (~1.5 ms) — plus a perfect clock, for DRAM and MFTL
+ * backends at fixed contention.
+ *
+ * This probes the paper's central claim (Figure 1): spurious aborts
+ * appear once the inter-client skew approaches/exceeds the storage
+ * write latency, so the faster the medium, the tighter the clock
+ * discipline must be.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workload/cluster.hh"
+#include "workload/retwis.hh"
+
+using common::kSecond;
+using workload::BackendKind;
+using workload::ClockKind;
+using workload::Cluster;
+using workload::ClusterConfig;
+using workload::RetwisConfig;
+using workload::RetwisWorkload;
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const std::uint64_t keys = args.getInt("keys", 20'000);
+    const auto warmup = args.getInt("warmup", 1) * kSecond;
+    const auto measure = args.getInt("seconds", 4) * kSecond;
+    const double alpha = args.getDouble("alpha", 0.7);
+    const std::uint64_t seed = args.getInt("seed", 1);
+
+    bench::printHeader(
+        "Ablation: abort rate vs clock discipline (Retwis, alpha "
+        "fixed)\nskew spans ~150ns (DTP) to ~1.5ms (NTP)");
+    std::printf("%9s | %12s | %10s | %10s\n", "clocks", "avg skew us",
+                "DRAM ab%", "MFTL ab%");
+    std::printf("----------+--------------+------------+-----------\n");
+
+    for (ClockKind clocks :
+         {ClockKind::Perfect, ClockKind::Dtp, ClockKind::PtpHw,
+          ClockKind::PtpSw, ClockKind::Ntp}) {
+        double aborts[2] = {0, 0};
+        double skew = 0;
+        int idx = 0;
+        for (BackendKind backend :
+             {BackendKind::Dram, BackendKind::Mftl}) {
+            ClusterConfig cfg;
+            cfg.numShards = 1;
+            cfg.replicasPerShard = 3;
+            cfg.numClients = 20;
+            cfg.backend = backend;
+            cfg.clocks = clocks;
+            cfg.numKeys = keys;
+            cfg.seed = seed;
+
+            Cluster cluster(cfg);
+            cluster.populate();
+            cluster.start();
+
+            RetwisConfig retwis;
+            retwis.alpha = alpha;
+            retwis.numKeys = keys;
+            retwis.seed = seed + 100;
+            RetwisWorkload fleet(cluster, retwis);
+            fleet.start();
+            cluster.sim().runUntil(cluster.sim().now() + warmup);
+            fleet.resetMeasurement();
+            cluster.sim().runFor(measure);
+            aborts[idx++] = fleet.abortRate() * 100.0;
+            skew = cluster.avgClientSkew() / 1000.0;
+        }
+        std::printf("%9s | %12.2f | %9.2f%% | %9.2f%%\n",
+                    workload::clockName(clocks), skew, aborts[0],
+                    aborts[1]);
+    }
+    std::printf(
+        "\nShape: disciplines whose skew sits below the write window\n"
+        "(DTP, PTP-hw, PTP-sw) are indistinguishable from perfect\n"
+        "clocks — their aborts are genuine OCC conflicts; NTP's\n"
+        "millisecond skew adds a large spurious-abort component on\n"
+        "top (Figure 1's model).\n");
+    return 0;
+}

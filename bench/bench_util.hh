@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: a tiny flag parser
+ * (--name=value) and table printing. Every bench accepts:
+ *
+ *   --seconds=N   simulated measurement seconds per cell
+ *   --warmup=N    simulated warm-up seconds (excluded from stats)
+ *   --keys=N      key-space size
+ *   --seed=N      root RNG seed
+ *   --full        paper-scale parameters (slower)
+ *
+ * Defaults are sized so the whole bench suite finishes in minutes of
+ * wall time while preserving the paper's shapes; EXPERIMENTS.md records
+ * the settings used for the committed results.
+ */
+
+#ifndef BENCH_BENCH_UTIL_HH
+#define BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+#include <string>
+
+namespace bench {
+
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i)
+            args_.emplace_back(argv[i]);
+    }
+
+    double
+    getDouble(const std::string &name, double def) const
+    {
+        const std::string prefix = "--" + name + "=";
+        for (const auto &a : args_) {
+            if (a.rfind(prefix, 0) == 0)
+                return std::atof(a.c_str() + prefix.size());
+        }
+        return def;
+    }
+
+    std::int64_t
+    getInt(const std::string &name, std::int64_t def) const
+    {
+        const std::string prefix = "--" + name + "=";
+        for (const auto &a : args_) {
+            if (a.rfind(prefix, 0) == 0)
+                return std::atoll(a.c_str() + prefix.size());
+        }
+        return def;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        const std::string flag = "--" + name;
+        for (const auto &a : args_) {
+            if (a == flag)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::string> args_;
+};
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title);
+    std::printf("================================================================\n");
+}
+
+} // namespace bench
+
+#endif // BENCH_BENCH_UTIL_HH

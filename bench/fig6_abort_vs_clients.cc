@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces Figure 6: transaction abort rate vs number of clients,
+ * single-version FTL (SFTL) vs multi-version FTL (MFTL), on a single
+ * node with zero clock skew, for several Retwis contention levels.
+ *
+ * Paper shape: with multi-versioning, tardy read-only transactions
+ * read from a consistent snapshot and commit, so MFTL's abort rate
+ * stays well below SFTL's, and the gap widens with contention.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workload/cluster.hh"
+#include "workload/retwis.hh"
+
+using common::kSecond;
+using workload::BackendKind;
+using workload::ClockKind;
+using workload::Cluster;
+using workload::ClusterConfig;
+using workload::RetwisConfig;
+using workload::RetwisWorkload;
+
+namespace {
+
+double
+runCell(BackendKind backend, std::uint32_t clients, double alpha,
+        std::uint64_t keys, common::Duration warmup,
+        common::Duration measure, std::uint64_t seed)
+{
+    ClusterConfig cfg;
+    cfg.numShards = 1;
+    cfg.replicasPerShard = 1; // single VM: storage layer + clients
+    cfg.numClients = clients;
+    cfg.backend = backend;
+    cfg.clocks = ClockKind::Perfect; // eliminates clock skew
+    cfg.numKeys = keys;
+    cfg.seed = seed;
+    // Same-machine "network": IPC-scale latency.
+    cfg.net.oneWayMean = 5 * common::kMicrosecond;
+    cfg.net.oneWaySigma = 1 * common::kMicrosecond;
+    cfg.net.minLatency = 1 * common::kMicrosecond;
+
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+
+    RetwisConfig retwis;
+    retwis.alpha = alpha;
+    retwis.numKeys = keys;
+    retwis.seed = seed + 100;
+    RetwisWorkload fleet(cluster, retwis);
+    fleet.start();
+
+    cluster.sim().runUntil(cluster.sim().now() + warmup);
+    fleet.resetMeasurement();
+    cluster.sim().runFor(measure);
+    return fleet.abortRate() * 100.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const std::uint64_t keys =
+        args.getInt("keys", args.has("full") ? 2'000'000 : 20'000);
+    const auto warmup = args.getInt("warmup", 1) * kSecond;
+    const auto measure =
+        args.getInt("seconds", args.has("full") ? 60 : 4) * kSecond;
+    const std::uint64_t seed = args.getInt("seed", 1);
+
+    bench::printHeader(
+        "Figure 6: Transaction abort rate (%) vs number of clients\n"
+        "single node, zero clock skew, Retwis; SFTL = single-version,\n"
+        "MFTL = multi-version");
+    std::printf("%7s %9s | %8s %8s | %8s %8s\n", "alpha", "clients",
+                "SFTL", "MFTL", "", "MFTL/SFTL");
+    std::printf("------------------+-------------------+-----------\n");
+
+    for (double alpha : {0.6, 0.8, 0.99}) {
+        for (std::uint32_t clients : {4u, 8u, 16u, 32u}) {
+            const double sftl =
+                runCell(BackendKind::SingleVersion, clients, alpha,
+                        keys, warmup, measure, seed);
+            const double mftl = runCell(BackendKind::Mftl, clients,
+                                        alpha, keys, warmup, measure,
+                                        seed);
+            std::printf("%7.2f %9u | %7.2f%% %7.2f%% | %8.2f\n", alpha,
+                        clients, sftl, mftl,
+                        sftl > 0 ? mftl / sftl : 0.0);
+        }
+    }
+    std::printf(
+        "\nPaper (Figure 6): multi-versioning cuts abort rates because\n"
+        "tardy read-only transactions commit from a snapshot; the gap\n"
+        "grows with contention and client count.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Reproduces Figure 7: MILANA transaction abort rates, PTP vs NTP
+ * clock synchronization, across Retwis contention levels, for the
+ * three storage backends (DRAM, VFTL, MFTL).
+ *
+ * Setup mirrors the paper: one shard with 1 primary + 2 backups,
+ * 20 Retwis client instances (each with its own disciplined clock),
+ * retry-same-keys on abort.
+ *
+ * Paper shapes:
+ *  - PTP aborts well below NTP everywhere (up to 43% lower);
+ *  - under NTP the DRAM backend is worst: its fast writes make the
+ *    millisecond skew dominate (Figure 1's epsilon >> t_w);
+ *  - VFTL slightly worse than MFTL (lower effective write latency).
+ * Also prints the realized average client skew per discipline
+ * (paper: NTP 1.51 ms, software PTP 53.2 us).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workload/cluster.hh"
+#include "workload/retwis.hh"
+
+using common::kSecond;
+using workload::BackendKind;
+using workload::ClockKind;
+using workload::Cluster;
+using workload::ClusterConfig;
+using workload::RetwisConfig;
+using workload::RetwisWorkload;
+
+namespace {
+
+struct Cell
+{
+    double abortPct = 0;
+    double skewUs = 0;
+};
+
+Cell
+runCell(BackendKind backend, ClockKind clocks, double alpha,
+        std::uint64_t keys, std::uint32_t clients,
+        common::Duration warmup, common::Duration measure,
+        std::uint64_t seed)
+{
+    ClusterConfig cfg;
+    cfg.numShards = 1;
+    cfg.replicasPerShard = 3; // 1 primary + 2 backups (paper)
+    cfg.numClients = clients;
+    cfg.backend = backend;
+    cfg.clocks = clocks;
+    cfg.numKeys = keys;
+    cfg.seed = seed;
+
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+
+    RetwisConfig retwis;
+    retwis.alpha = alpha;
+    retwis.numKeys = keys;
+    retwis.seed = seed + 100;
+    RetwisWorkload fleet(cluster, retwis);
+    fleet.start();
+
+    cluster.sim().runUntil(cluster.sim().now() + warmup);
+    fleet.resetMeasurement();
+    cluster.sim().runFor(measure);
+
+    Cell cell;
+    cell.abortPct = fleet.abortRate() * 100.0;
+    cell.skewUs = cluster.avgClientSkew() / 1000.0;
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const std::uint64_t keys =
+        args.getInt("keys", args.has("full") ? 2'000'000 : 20'000);
+    const std::uint32_t clients =
+        static_cast<std::uint32_t>(args.getInt("clients", 20));
+    const auto warmup = args.getInt("warmup", 1) * kSecond;
+    const auto measure =
+        args.getInt("seconds", args.has("full") ? 60 : 4) * kSecond;
+    const std::uint64_t seed = args.getInt("seed", 1);
+
+    bench::printHeader(
+        "Figure 7: PTP vs NTP — MILANA transaction abort rates (%)\n"
+        "1 primary + 2 backups, 20 Retwis instances, "
+        "retry-same-keys");
+    std::printf("%7s | %15s | %15s | %15s\n", "", "DRAM", "VFTL",
+                "MFTL");
+    std::printf("%7s | %7s %7s | %7s %7s | %7s %7s\n", "alpha", "PTP",
+                "NTP", "PTP", "NTP", "PTP", "NTP");
+    std::printf("--------+-----------------+-----------------+"
+                "----------------\n");
+
+    double skew_ptp = 0, skew_ntp = 0;
+    for (double alpha : {0.5, 0.7, 0.9, 0.99}) {
+        double cells[3][2];
+        int b = 0;
+        for (BackendKind backend :
+             {BackendKind::Dram, BackendKind::Vftl, BackendKind::Mftl}) {
+            const Cell ptp = runCell(backend, ClockKind::PtpSw, alpha,
+                                     keys, clients, warmup, measure,
+                                     seed);
+            const Cell ntp = runCell(backend, ClockKind::Ntp, alpha,
+                                     keys, clients, warmup, measure,
+                                     seed);
+            cells[b][0] = ptp.abortPct;
+            cells[b][1] = ntp.abortPct;
+            skew_ptp = ptp.skewUs;
+            skew_ntp = ntp.skewUs;
+            ++b;
+        }
+        std::printf(
+            "%7.2f | %6.2f%% %6.2f%% | %6.2f%% %6.2f%% | %6.2f%% "
+            "%6.2f%%\n",
+            alpha, cells[0][0], cells[0][1], cells[1][0], cells[1][1],
+            cells[2][0], cells[2][1]);
+    }
+    std::printf("\nRealized average client skew: PTP %.1f us, NTP %.1f "
+                "us\n(paper section 5.2: PTP-sw 53.2 us, NTP 1510 "
+                "us)\n",
+                skew_ptp, skew_ntp);
+    std::printf(
+        "Paper (Figure 7): PTP's tighter sync lowers abort rates (up\n"
+        "to 43%%); NTP hurts most on the fastest backend (DRAM).\n");
+    return 0;
+}

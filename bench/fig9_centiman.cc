@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces Figure 9: MILANA's local validation vs Centiman's
+ * watermark-based local validation, throughput vs contention.
+ *
+ * Setup mirrors the paper: 3 shards on MFTL, unreplicated (Centiman's
+ * validators do not replicate), 30 Retwis instances, 75% read-only
+ * mix, PTP clocks, Centiman watermark disseminated every 1,000
+ * transactions.
+ *
+ * Paper shapes:
+ *  - comparable throughput at low contention (alpha 0.4);
+ *  - Centiman's local-validation success falls from ~89% to ~25% as
+ *    alpha rises to 0.8, forcing remote validation, while MILANA
+ *    validates 100% of read-only transactions locally and ends ~20%
+ *    ahead; abort rates stay similar.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workload/cluster.hh"
+#include "workload/retwis.hh"
+
+using common::kSecond;
+using workload::BackendKind;
+using workload::ClockKind;
+using workload::Cluster;
+using workload::ClusterConfig;
+using workload::RetwisConfig;
+using workload::RetwisWorkload;
+
+namespace {
+
+struct Cell
+{
+    double txnPerSec = 0;
+    double abortPct = 0;
+    double localValidatedPct = 100.0;
+};
+
+Cell
+runCell(bool centiman, double alpha, std::uint64_t keys,
+        std::uint32_t clients, common::Duration warmup,
+        common::Duration measure, std::uint64_t seed)
+{
+    ClusterConfig cfg;
+    cfg.numShards = 3;
+    cfg.replicasPerShard = 1; // no replication (Centiman parity)
+    cfg.numClients = clients;
+    cfg.backend = BackendKind::Mftl;
+    cfg.clocks = ClockKind::PtpSw;
+    cfg.numKeys = keys;
+    cfg.seed = seed;
+    cfg.centiman = centiman;
+    cfg.centimanDisseminateEvery = 1000;
+
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+
+    RetwisConfig retwis;
+    retwis.alpha = alpha;
+    retwis.numKeys = keys;
+    retwis.readHeavy = true;
+    retwis.seed = seed + 100;
+    RetwisWorkload fleet(cluster, retwis);
+    fleet.start();
+
+    cluster.sim().runUntil(cluster.sim().now() + warmup);
+    fleet.resetMeasurement();
+    cluster.resetStats();
+    cluster.sim().runFor(measure);
+
+    Cell cell;
+    cell.txnPerSec = static_cast<double>(fleet.totalCommits()) /
+                     common::toSeconds(measure);
+    cell.abortPct = fleet.abortRate() * 100.0;
+    if (centiman) {
+        const auto stats = cluster.clientStats();
+        const double local = static_cast<double>(
+            stats.counterValue("centiman.local_validated"));
+        const double remote = static_cast<double>(
+            stats.counterValue("centiman.remote_validated"));
+        cell.localValidatedPct =
+            local + remote == 0 ? 0.0 : 100.0 * local / (local + remote);
+    }
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const std::uint64_t keys =
+        args.getInt("keys", args.has("full") ? 6'000'000 : 200'000);
+    const std::uint32_t clients =
+        static_cast<std::uint32_t>(args.getInt("clients", 30));
+    const auto warmup = args.getInt("warmup", 1) * kSecond;
+    const auto measure =
+        args.getInt("seconds", args.has("full") ? 60 : 2) * kSecond;
+    const std::uint64_t seed = args.getInt("seed", 1);
+
+    bench::printHeader(
+        "Figure 9: Local-validation techniques — MILANA vs Centiman\n"
+        "3 shards (MFTL, unreplicated), 30 Retwis instances, 75% "
+        "read-only");
+    std::printf("%7s | %10s %10s | %9s | %8s %8s\n", "alpha",
+                "MILANA t/s", "Centi t/s", "Centi LV%", "MIL ab%",
+                "Cen ab%");
+    std::printf("--------+-----------------------+-----------+"
+                "------------------\n");
+
+    for (double alpha : {0.4, 0.5, 0.6, 0.7, 0.8}) {
+        const Cell milana = runCell(false, alpha, keys, clients,
+                                    warmup, measure, seed);
+        const Cell centi = runCell(true, alpha, keys, clients, warmup,
+                                   measure, seed);
+        std::printf("%7.2f | %10.0f %10.0f | %8.1f%% | %7.2f%% "
+                    "%7.2f%%\n",
+                    alpha, milana.txnPerSec, centi.txnPerSec,
+                    centi.localValidatedPct, milana.abortPct,
+                    centi.abortPct);
+    }
+    std::printf(
+        "\nPaper (Figure 9): equal at alpha=0.4; Centiman's LV success\n"
+        "drops 89%% -> 25%% with contention, MILANA stays at 100%% and\n"
+        "ends ~20%% ahead in throughput; abort rates similar.\n");
+    return 0;
+}

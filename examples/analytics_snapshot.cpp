@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Long-running read-only analytics over a live store — the use case
+ * behind SEMEL's tunable version-retention window (section 3.1) and
+ * MILANA's watermark-driven version management (section 4.4).
+ *
+ * An analytics transaction scans a large key range at its begin
+ * timestamp while writers keep updating; because storage is
+ * multi-version and the watermark cannot pass any active client's last
+ * decided transaction, the scan always completes from one consistent
+ * snapshot and still commits with *local* validation.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "milana/client.hh"
+#include "workload/cluster.hh"
+
+using common::Key;
+using milana::CommitResult;
+using milana::MilanaClient;
+using workload::Cluster;
+using workload::ClusterConfig;
+
+namespace {
+
+constexpr Key kRange = 512;
+
+/** Writers bump per-key counters continuously. */
+sim::Task<void>
+writerLoop(Cluster &cluster, std::uint32_t client_index)
+{
+    auto &client = cluster.client(client_index);
+    common::Rng rng(client_index + 13);
+    std::uint64_t epoch = 0;
+    while (!cluster.sim().stopRequested()) {
+        auto txn = client.beginTransaction();
+        const Key k = rng.nextBounded(kRange);
+        (void)co_await client.get(txn, k);
+        client.put(txn, k, "epoch-" + std::to_string(++epoch));
+        (void)co_await client.commitTransaction(txn);
+    }
+}
+
+/** One slow full-range scan at a single snapshot. */
+sim::Task<void>
+analyticsScan(Cluster &cluster)
+{
+    auto &client = cluster.client(0);
+    auto txn = client.beginTransaction();
+    const auto begin_ts = txn.begin().timestamp;
+
+    std::size_t behind_snapshot = 0;
+    std::size_t scanned = 0;
+    for (Key k = 0; k < kRange; ++k) {
+        auto r = co_await client.get(txn, k);
+        if (!r.ok)
+            continue;
+        ++scanned;
+        // Every value we see was written at or before our begin
+        // timestamp, no matter how many updates landed since.
+        behind_snapshot += r.found;
+        // Be a deliberately slow scanner so plenty of writes overtake
+        // the snapshot while it runs.
+        co_await sim::sleepFor(cluster.sim(), common::kMillisecond);
+    }
+    const auto result = co_await client.commitTransaction(txn);
+
+    std::printf("scan of %zu keys at ts_begin=%lld: %zu values, "
+                "%s with LOCAL validation\n",
+                scanned, static_cast<long long>(begin_ts),
+                behind_snapshot,
+                result == CommitResult::Committed ? "COMMITTED"
+                                                  : "ABORTED");
+
+    const auto client_stats = cluster.clientStats();
+    std::printf("while scanning, the writers committed %llu "
+                "transactions over the same range\n",
+                static_cast<unsigned long long>(
+                    client_stats.counterValue("txn.committed")));
+    cluster.sim().requestStop();
+}
+
+} // namespace
+
+int
+main()
+{
+    ClusterConfig cfg;
+    cfg.numShards = 3;
+    cfg.replicasPerShard = 3;
+    cfg.numClients = 4; // 1 analyst + 3 writers
+    cfg.backend = workload::BackendKind::Mftl;
+    cfg.clocks = workload::ClockKind::PtpSw;
+    cfg.numKeys = kRange;
+
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+
+    std::printf("starting 3 writers and one slow full-range analytics "
+                "scan...\n");
+    sim::spawn(writerLoop(cluster, 1));
+    sim::spawn(writerLoop(cluster, 2));
+    sim::spawn(writerLoop(cluster, 3));
+    sim::spawn(analyticsScan(cluster));
+    cluster.sim().run();
+
+    // Version-retention proof: the storage kept enough versions for
+    // the scan because the watermark trailed the open transaction.
+    const auto server_stats = cluster.serverStats();
+    std::printf("server-side watermark advances during the run: %llu\n",
+                static_cast<unsigned long long>(server_stats.counterValue(
+                    "semel.watermark_advances")));
+    return 0;
+}

@@ -1,0 +1,55 @@
+#include "clocksync/clock.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clocksync {
+
+DriftClock::DriftClock(sim::Simulator &sim, const Params &p,
+                       common::Rng &rng)
+    : sim_(sim),
+      driftPpm_(rng.nextGaussian(0.0, p.driftPpmSigma)),
+      offsetAtSync_(rng.nextGaussian(
+          0.0, static_cast<double>(p.initialOffsetSigma)))
+{
+}
+
+Duration
+DriftClock::currentOffset() const
+{
+    const Time t = sim_.now();
+    const double elapsed = static_cast<double>(t - lastSyncTrue_);
+    const double offset =
+        offsetAtSync_ + (driftPpm_ + servoPpm_) * 1e-6 * elapsed;
+    return static_cast<Duration>(std::llround(offset));
+}
+
+Time
+DriftClock::localNow()
+{
+    const Time local = sim_.now() + currentOffset();
+    lastReturned_ = std::max(lastReturned_, local);
+    return lastReturned_;
+}
+
+void
+DriftClock::adjustRatePpm(double delta_ppm)
+{
+    // Re-anchor first so past time is not retroactively re-rated.
+    const double now_offset = static_cast<double>(currentOffset());
+    offsetAtSync_ = now_offset;
+    lastSyncTrue_ = sim_.now();
+    servoPpm_ += delta_ppm;
+}
+
+void
+DriftClock::applyCorrection(Duration measured_offset, double gain)
+{
+    // Re-anchor the linear model at the present instant, then subtract
+    // the corrected fraction of the measurement.
+    const double now_offset = static_cast<double>(currentOffset());
+    offsetAtSync_ = now_offset - gain * static_cast<double>(measured_offset);
+    lastSyncTrue_ = sim_.now();
+}
+
+} // namespace clocksync

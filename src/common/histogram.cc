@@ -1,0 +1,124 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+#include "common/types.hh"
+
+namespace common {
+
+Histogram::Histogram()
+    : buckets_(static_cast<std::size_t>(kOctaves) * kSubBuckets, 0),
+      min_(std::numeric_limits<std::int64_t>::max())
+{
+}
+
+int
+Histogram::bucketIndex(std::int64_t value)
+{
+    const std::uint64_t v = value <= 0 ? 0 : static_cast<std::uint64_t>(value);
+    if (v < kSubBuckets)
+        return static_cast<int>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - kSubBucketBits;
+    const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+    int idx = kSubBuckets + shift * kSubBuckets + sub;
+    const int last = kOctaves * kSubBuckets - 1;
+    return std::min(idx, last);
+}
+
+std::int64_t
+Histogram::bucketMidpoint(int index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const int adjusted = index - kSubBuckets;
+    const int shift = adjusted / kSubBuckets;
+    const int sub = adjusted % kSubBuckets;
+    const std::uint64_t base =
+        (static_cast<std::uint64_t>(kSubBuckets + sub)) << shift;
+    const std::uint64_t width = 1ULL << shift;
+    return static_cast<std::int64_t>(base + width / 2);
+}
+
+void
+Histogram::record(std::int64_t value)
+{
+    if (value < 0)
+        value = 0;
+    ++buckets_[static_cast<std::size_t>(bucketIndex(value))];
+    ++count_;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    sum_ += static_cast<double>(value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    assert(buckets_.size() == other.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    min_ = std::numeric_limits<std::int64_t>::max();
+    max_ = 0;
+    sum_ = 0.0;
+}
+
+std::int64_t
+Histogram::min() const
+{
+    return count_ == 0 ? 0 : min_;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::int64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return std::clamp(bucketMidpoint(static_cast<int>(i)),
+                              min(), max_);
+    }
+    return max_;
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os.precision(1);
+    os << std::fixed << "n=" << count_ << " mean=" << toMicros(
+              static_cast<Duration>(mean()))
+       << "us p50=" << toMicros(p50()) << "us p95=" << toMicros(p95())
+       << "us p99=" << toMicros(p99()) << "us max=" << toMicros(max_)
+       << "us";
+    return os.str();
+}
+
+} // namespace common

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Latency histogram with approximate quantiles.
+ *
+ * Uses log-spaced buckets (HdrHistogram-style: linear sub-buckets
+ * within power-of-two ranges) so that recording is O(1), memory is
+ * bounded, and relative error of reported quantiles is < 2 / 64.
+ */
+
+#ifndef COMMON_HISTOGRAM_HH
+#define COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace common {
+
+class Histogram
+{
+  public:
+    Histogram();
+
+    /** Record one sample (negative samples clamp to zero). */
+    void record(std::int64_t value);
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::int64_t min() const;
+    std::int64_t max() const { return max_; }
+    double mean() const;
+
+    /** Approximate quantile, q in [0, 1]. Returns 0 when empty. */
+    std::int64_t quantile(double q) const;
+
+    std::int64_t p50() const { return quantile(0.50); }
+    std::int64_t p95() const { return quantile(0.95); }
+    std::int64_t p99() const { return quantile(0.99); }
+
+    /** One-line summary (interpreting samples as nanoseconds). */
+    std::string summary() const;
+
+  private:
+    static constexpr int kSubBucketBits = 6; // 64 sub-buckets per octave
+    static constexpr int kSubBuckets = 1 << kSubBucketBits;
+    static constexpr int kOctaves = 50;
+
+    static int bucketIndex(std::int64_t value);
+    static std::int64_t bucketMidpoint(int index);
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::int64_t min_ = 0;
+    std::int64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace common
+
+#endif // COMMON_HISTOGRAM_HH

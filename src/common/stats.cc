@@ -1,0 +1,43 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace common {
+
+std::uint64_t
+StatSet::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, ctr] : other.counters_)
+        counters_[name].inc(ctr.value());
+    for (const auto &[name, hist] : other.histograms_)
+        histograms_[name].merge(hist);
+}
+
+void
+StatSet::reset()
+{
+    for (auto &[name, ctr] : counters_)
+        ctr.reset();
+    for (auto &[name, hist] : histograms_)
+        hist.reset();
+}
+
+std::string
+StatSet::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, ctr] : counters_)
+        os << prefix << name << " = " << ctr.value() << "\n";
+    for (const auto &[name, hist] : histograms_)
+        os << prefix << name << ": " << hist.summary() << "\n";
+    return os.str();
+}
+
+} // namespace common

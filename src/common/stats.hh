@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lightweight named statistics, in the spirit of gem5's stats package.
+ *
+ * Components register counters and histograms with a StatSet; harnesses
+ * dump the set after a run. Everything is plain value types — no global
+ * registry — so two simulations in one process never interfere.
+ */
+
+#ifndef COMMON_STATS_HH
+#define COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.hh"
+
+namespace common {
+
+/** A monotonically increasing named counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of counters and histograms.
+ *
+ * Lookup creates on first use, so call sites read naturally:
+ * @code
+ *   stats.counter("txn.committed").inc();
+ *   stats.histogram("txn.latency").record(latency);
+ * @endcode
+ */
+class StatSet
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Histogram &histogram(const std::string &name) { return histograms_[name]; }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /** Value of a counter, or 0 when absent (read-only convenience). */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Merge all stats from another set into this one. */
+    void merge(const StatSet &other);
+
+    void reset();
+
+    /** Multi-line human-readable dump. */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace common
+
+#endif // COMMON_STATS_HH

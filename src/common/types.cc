@@ -1,0 +1,15 @@
+#include "common/types.hh"
+
+#include <sstream>
+
+namespace common {
+
+std::string
+Version::toString() const
+{
+    std::ostringstream os;
+    os << "<" << timestamp << "," << clientId << ">";
+    return os.str();
+}
+
+} // namespace common

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Zipfian key-popularity sampler.
+ *
+ * The Retwis "contention parameter" alpha in the paper's Figures 6, 7
+ * and 9 is modelled as the exponent of a Zipf distribution over the key
+ * space: higher alpha concentrates accesses on fewer keys, increasing
+ * the probability that concurrent transactions share keys.
+ */
+
+#ifndef COMMON_ZIPF_HH
+#define COMMON_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace common {
+
+/**
+ * Samples ranks in [0, n) with probability proportional to
+ * 1 / (rank+1)^alpha.
+ *
+ * Uses the Gray et al. analytic approximation (as popularized by YCSB)
+ * so construction is O(1) in n apart from the zeta sums, which are
+ * computed incrementally and memoized.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Size of the key space (must be >= 1).
+     * @param alpha Skew exponent; 0 gives a uniform distribution.
+     */
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draw a rank in [0, n); rank 0 is the most popular. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t size() const { return n_; }
+    double alpha() const { return alpha_; }
+
+    /** Probability mass of the given rank (for tests). */
+    double pmf(std::uint64_t rank) const;
+
+  private:
+    static double zeta(std::uint64_t n, double alpha);
+
+    std::uint64_t n_;
+    double alpha_;
+    double zetaN_;
+    double zeta2_;
+    double eta_;
+};
+
+/**
+ * Maps sampled ranks onto the key space with a fixed pseudo-random
+ * permutation so that "hot" keys are scattered instead of clustered at
+ * the low end (which would otherwise land them all in one shard).
+ */
+class ScrambledZipf
+{
+  public:
+    ScrambledZipf(std::uint64_t n, double alpha, std::uint64_t seed);
+
+    /** Draw a key in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+  private:
+    ZipfSampler zipf_;
+    std::uint64_t n_;
+    std::uint64_t seed_;
+};
+
+} // namespace common
+
+#endif // COMMON_ZIPF_HH

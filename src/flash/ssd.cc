@@ -1,0 +1,139 @@
+#include "flash/ssd.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flash {
+
+SsdDevice::SsdDevice(sim::Simulator &sim, const Geometry &geometry)
+    : sim_(sim),
+      geometry_(geometry),
+      blocks_(geometry.numBlocks),
+      pins_(geometry.numBlocks, 0),
+      queue_(sim, geometry.queueDepth)
+{
+    for (auto &b : blocks_) {
+        b.pages.resize(geometry.pagesPerBlock);
+        b.states.assign(geometry.pagesPerBlock, PageState::Erased);
+    }
+    channels_.reserve(geometry.numChannels);
+    for (std::uint32_t c = 0; c < geometry.numChannels; ++c)
+        channels_.push_back(std::make_unique<sim::Mutex>(sim));
+}
+
+sim::Task<void>
+SsdDevice::service(std::uint32_t block, common::Duration latency)
+{
+    co_await queue_.acquire();
+    auto &channel = *channels_[block % geometry_.numChannels];
+    co_await channel.lock();
+    co_await sim::sleepFor(sim_, latency);
+    channel.unlock();
+    queue_.release();
+}
+
+sim::Task<const PageData *>
+SsdDevice::readPage(PageAddr addr)
+{
+    if (addr.block >= blocks_.size() ||
+        addr.page >= geometry_.pagesPerBlock)
+        PANIC("readPage out of range: " << addr.block << "/" << addr.page);
+    auto &block = blocks_[addr.block];
+    if (block.states[addr.page] != PageState::Programmed)
+        PANIC("read of unprogrammed page " << addr.block << "/"
+                                           << addr.page);
+    co_await service(addr.block, geometry_.readLatency);
+    stats_.counter("ssd.reads").inc();
+    co_return &block.pages[addr.page];
+}
+
+sim::Task<void>
+SsdDevice::programPage(PageAddr addr, PageData data)
+{
+    if (addr.block >= blocks_.size() ||
+        addr.page >= geometry_.pagesPerBlock)
+        PANIC("programPage out of range");
+    auto &block = blocks_[addr.block];
+    if (block.states[addr.page] != PageState::Erased)
+        PANIC("program of non-erased page " << addr.block << "/"
+                                            << addr.page);
+    if (addr.page != block.nextProgramPage)
+        PANIC("out-of-order program within block " << addr.block << ": page "
+              << addr.page << " but next is " << block.nextProgramPage);
+    if (data.bytes() > geometry_.pageSize)
+        PANIC("page overflow: " << data.bytes() << " bytes");
+
+    // Commit functional state before the timing wait so a reader that
+    // observes the mapping update (made by the FTL after we return)
+    // always finds the data. NAND-wise the data is on the page once
+    // program completes; the FTL publishes the mapping only after that.
+    block.states[addr.page] = PageState::Programmed;
+    block.nextProgramPage = addr.page + 1;
+    block.pages[addr.page] = std::move(data);
+
+    co_await service(addr.block, geometry_.writeLatency);
+    stats_.counter("ssd.programs").inc();
+}
+
+sim::Task<void>
+SsdDevice::eraseBlock(std::uint32_t block_index)
+{
+    if (block_index >= blocks_.size())
+        PANIC("eraseBlock out of range");
+    // Wait for read-pins to drain so no in-flight read sees erased data.
+    while (pins_[block_index] != 0)
+        co_await sim::sleepFor(sim_, 10 * common::kMicrosecond);
+
+    co_await service(block_index, geometry_.eraseLatency);
+
+    auto &block = blocks_[block_index];
+    for (auto &p : block.pages)
+        p = PageData{};
+    std::fill(block.states.begin(), block.states.end(), PageState::Erased);
+    block.nextProgramPage = 0;
+    ++block.eraseCount;
+    stats_.counter("ssd.erases").inc();
+}
+
+PageState
+SsdDevice::pageState(PageAddr addr) const
+{
+    return blocks_[addr.block].states[addr.page];
+}
+
+const PageData &
+SsdDevice::peekPage(PageAddr addr) const
+{
+    if (pageState(addr) != PageState::Programmed)
+        PANIC("peek of unprogrammed page");
+    return blocks_[addr.block].pages[addr.page];
+}
+
+std::uint32_t
+SsdDevice::eraseCount(std::uint32_t block) const
+{
+    return blocks_[block].eraseCount;
+}
+
+std::uint32_t
+SsdDevice::wearSpread() const
+{
+    std::uint32_t lo = blocks_[0].eraseCount;
+    std::uint32_t hi = lo;
+    for (const auto &b : blocks_) {
+        lo = std::min(lo, b.eraseCount);
+        hi = std::max(hi, b.eraseCount);
+    }
+    return hi - lo;
+}
+
+void
+SsdDevice::unpinBlock(std::uint32_t block)
+{
+    if (pins_[block] == 0)
+        PANIC("unpin of unpinned block " << block);
+    --pins_[block];
+}
+
+} // namespace flash

@@ -1,0 +1,83 @@
+#include "ftl/dram.hh"
+
+#include <algorithm>
+
+namespace ftl {
+
+DramBackend::DramBackend(sim::Simulator &sim)
+    : DramBackend(sim, Config{})
+{
+}
+
+DramBackend::DramBackend(sim::Simulator &sim, const Config &config)
+    : sim_(sim), config_(config)
+{
+}
+
+sim::Task<GetResult>
+DramBackend::get(Key key, Version at)
+{
+    // Look up at coroutine entry (atomic w.r.t. other coroutines), then
+    // model the access latency: callers rely on the snapshot being
+    // taken when the request is issued.
+    stats_.counter("dram.gets").inc();
+    GetResult result;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second.pruneBelowWatermark(watermark_, [](const auto &) {});
+        if (const auto *entry = it->second.findAt(at)) {
+            result.found = true;
+            result.version = entry->version;
+            result.value = entry->loc.value;
+        }
+    }
+    co_await sim::sleepFor(sim_, config_.readLatency);
+    co_return result;
+}
+
+sim::Task<PutStatus>
+DramBackend::put(Key key, Value value, Version version)
+{
+    // Mutate at entry, then charge the write latency: the new version
+    // is visible to lookups issued after this call starts.
+    stats_.counter("dram.puts").inc();
+    auto &chain = map_[key];
+    chain.insert(version, Stored{std::move(value)});
+    chain.pruneBelowWatermark(watermark_, [](const auto &) {});
+    co_await sim::sleepFor(sim_, config_.writeLatency);
+    co_return PutStatus::Ok;
+}
+
+sim::Task<void>
+DramBackend::erase(Key key)
+{
+    stats_.counter("dram.deletes").inc();
+    co_await sim::sleepFor(sim_, config_.writeLatency);
+    map_.erase(key);
+}
+
+void
+DramBackend::setWatermark(Time watermark)
+{
+    watermark_ = std::max(watermark_, watermark);
+}
+
+std::optional<Version>
+DramBackend::versionAt(Key key, Version at)
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return std::nullopt;
+    const auto *entry = it->second.findAt(at);
+    return entry == nullptr ? std::nullopt
+                            : std::optional<Version>(entry->version);
+}
+
+std::size_t
+DramBackend::versionCount(Key key) const
+{
+    auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second.size();
+}
+
+} // namespace ftl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DRAM storage backend: a multi-version in-memory store with
+ * persistent-memory-like access latencies (battery-backed DRAM or a
+ * byte-addressable NVM, section 2.2: <= 100 ns - 1 us).
+ *
+ * Used by the paper's Figures 7 and 8 as the fastest backend; its fast
+ * writes are precisely what makes it the most sensitive to clock skew
+ * (Figure 1: spurious aborts appear when skew >> write latency).
+ */
+
+#ifndef FTL_DRAM_HH
+#define FTL_DRAM_HH
+
+#include <unordered_map>
+
+#include "ftl/kv_backend.hh"
+#include "ftl/version_chain.hh"
+#include "sim/future.hh"
+
+namespace ftl {
+
+class DramBackend : public KvBackend
+{
+  public:
+    struct Config
+    {
+        common::Duration readLatency = 200 * common::kNanosecond;
+        common::Duration writeLatency = 500 * common::kNanosecond;
+    };
+
+    explicit DramBackend(sim::Simulator &sim);
+    DramBackend(sim::Simulator &sim, const Config &config);
+
+    sim::Task<GetResult> get(Key key, Version at) override;
+    sim::Task<PutStatus> put(Key key, Value value, Version version) override;
+    sim::Task<void> erase(Key key) override;
+    void setWatermark(Time watermark) override;
+    std::optional<Version> versionAt(Key key, Version at) override;
+    bool multiVersion() const override { return true; }
+    common::StatSet &stats() override { return stats_; }
+
+    std::size_t versionCount(Key key) const;
+
+  private:
+    struct Stored
+    {
+        Value value;
+    };
+
+    using Chain = VersionChain<Stored>;
+
+    sim::Simulator &sim_;
+    Config config_;
+    std::unordered_map<Key, Chain> map_;
+    Time watermark_ = 0;
+    common::StatSet stats_;
+};
+
+} // namespace ftl
+
+#endif // FTL_DRAM_HH

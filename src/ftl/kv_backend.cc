@@ -1,0 +1,15 @@
+#include "ftl/kv_backend.hh"
+
+#include <limits>
+
+namespace ftl {
+
+sim::Task<GetResult>
+KvBackend::getLatest(Key key)
+{
+    const Version latest{std::numeric_limits<common::Time>::max(),
+                         std::numeric_limits<common::ClientId>::max()};
+    co_return co_await get(key, latest);
+}
+
+} // namespace ftl

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Per-key version chains: the in-DRAM mapping-table entries of the
+ * paper's multi-version FTL (Figure 3). Each key maps to a list of
+ * versions sorted by descending create-timestamp; a version carries a
+ * location cookie (physical page for MFTL, logical block for VFTL,
+ * nothing for DRAM).
+ *
+ * Watermark pruning implements section 3.1's rule: keep the youngest
+ * version whose stamp is <= watermark plus everything younger; discard
+ * the rest.
+ */
+
+#ifndef FTL_VERSION_CHAIN_HH
+#define FTL_VERSION_CHAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ftl {
+
+using common::Time;
+using common::Version;
+
+/** One version's mapping entry. Loc is a backend-specific locator. */
+template <typename Loc>
+struct VersionEntry
+{
+    Version version;
+    Loc loc;
+};
+
+/**
+ * Sorted (descending by version) chain of a key's versions.
+ */
+template <typename Loc>
+class VersionChain
+{
+  public:
+    using Entry = VersionEntry<Loc>;
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Youngest entry; chain must be non-empty. */
+    const Entry &youngest() const { return entries_.front(); }
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /**
+     * Insert a version, keeping descending order. Duplicate stamps
+     * (idempotent replays) are ignored; returns false in that case.
+     */
+    bool
+    insert(Version v, Loc loc)
+    {
+        auto it = entries_.begin();
+        while (it != entries_.end() && it->version > v)
+            ++it;
+        if (it != entries_.end() && it->version == v)
+            return false;
+        entries_.insert(it, Entry{v, loc});
+        return true;
+    }
+
+    /** Youngest entry with stamp <= at, or nullptr. */
+    const Entry *
+    findAt(Version at) const
+    {
+        for (const auto &e : entries_) {
+            if (e.version <= at)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /** Mutable entry for an exact version, or nullptr. */
+    Entry *
+    find(Version v)
+    {
+        for (auto &e : entries_) {
+            if (e.version == v)
+                return &e;
+            if (e.version < v)
+                break;
+        }
+        return nullptr;
+    }
+
+    /** True if the given exact version is present. */
+    bool
+    contains(Version v) const
+    {
+        for (const auto &e : entries_) {
+            if (e.version == v)
+                return true;
+            if (e.version < v)
+                break;
+        }
+        return false;
+    }
+
+    /**
+     * Drop versions made obsolete by the watermark; invokes
+     * @p on_drop(entry) for each discarded entry so the caller can
+     * release the storage it references. Keeps the youngest version
+     * with timestamp <= watermark and everything younger.
+     */
+    template <typename OnDrop>
+    void
+    pruneBelowWatermark(Time watermark, OnDrop &&on_drop)
+    {
+        // entries_ is descending; find the first entry with
+        // timestamp <= watermark. Everything after it is prunable.
+        std::size_t keep = 0;
+        while (keep < entries_.size() &&
+               entries_[keep].version.timestamp > watermark)
+            ++keep;
+        // entries_[keep] is the youngest <= watermark: keep it too.
+        const std::size_t first_drop = keep + 1;
+        for (std::size_t i = first_drop; i < entries_.size(); ++i)
+            on_drop(entries_[i]);
+        if (first_drop < entries_.size())
+            entries_.resize(first_drop);
+    }
+
+    /**
+     * Remove one exact version (used when GC relocates a record or a
+     * delete removes the key). Returns true if found.
+     */
+    bool
+    remove(Version v)
+    {
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->version == v) {
+                entries_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Update the locator of an exact version (GC relocation). */
+    bool
+    relocate(Version v, Loc loc)
+    {
+        for (auto &e : entries_) {
+            if (e.version == v) {
+                e.loc = loc;
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+} // namespace ftl
+
+#endif // FTL_VERSION_CHAIN_HH

@@ -1,0 +1,320 @@
+#include "milana/client.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+#include "sim/future.hh"
+#include "sim/sync.hh"
+
+namespace milana {
+
+MilanaClient::MilanaClient(sim::Simulator &sim, net::Network &net,
+                           NodeId node, ClientId client_id,
+                           clocksync::Clock &clock,
+                           const semel::Master &master,
+                           const semel::Directory &directory,
+                           const semel::Client::Config &config,
+                           const TxnConfig &txn_config)
+    : semel::Client(sim, net, node, client_id, clock, master, directory,
+                    config),
+      tcfg_(txn_config)
+{
+}
+
+MilanaServer *
+MilanaClient::milanaPrimaryFor(common::ShardId shard) const
+{
+    auto *server = dynamic_cast<MilanaServer *>(
+        directory_.at(master_.primaryOf(shard)));
+    if (server == nullptr)
+        PANIC("shard " << shard << " primary is not a MILANA server");
+    return server;
+}
+
+Transaction
+MilanaClient::beginTransaction(TxnHint hint)
+{
+    Transaction txn;
+    txn.id_ = TxnId{clientId_, nextSerial_++};
+    txn.begin_ = Version{clock_.localNow(), clientId_};
+    txn.active_ = true;
+    txn.hint_ = hint;
+    stats_.counter("txn.begun").inc();
+    return txn;
+}
+
+MilanaServer *
+MilanaClient::anyReplicaFor(Key key, common::Rng &rng) const
+{
+    const common::ShardId shard = master_.shardMap().shardOf(key);
+    const auto &replicas = master_.replicasOf(shard);
+    const auto pick = replicas[rng.nextBounded(replicas.size())];
+    auto *server = dynamic_cast<MilanaServer *>(directory_.at(pick));
+    if (server == nullptr)
+        PANIC("replica " << pick << " is not a MILANA server");
+    return server;
+}
+
+sim::Task<TxnRead>
+MilanaClient::get(Transaction &txn, Key key)
+{
+    TxnRead result;
+    if (!txn.active_)
+        PANIC("get on inactive transaction");
+
+    // Reads of our own buffered writes come from the write set.
+    if (auto wit = txn.writeSet_.find(key); wit != txn.writeSet_.end()) {
+        result.ok = true;
+        result.found = true;
+        result.value = wit->second;
+        co_return result;
+    }
+    // Repeat reads come from the read cache.
+    if (auto rit = txn.readSet_.find(key); rit != txn.readSet_.end()) {
+        result.ok = true;
+        result.found = rit->second.found;
+        result.value = rit->second.value;
+        co_return result;
+    }
+
+    const bool hinted_rw = txn.hint_ == TxnHint::ReadWrite;
+
+    // Section 4.3 "aggressive caching": a hinted read-write
+    // transaction may serve reads from the inter-transaction cache —
+    // it will validate remotely, so stale entries surface as aborts.
+    if (hinted_rw && tcfg_.interTxnCacheCapacity > 0) {
+        if (auto cit = interTxnCache_.find(key);
+            cit != interTxnCache_.end()) {
+            stats_.counter("txn.cache_hits").inc();
+            txn.readSet_[key] = cit->second;
+            result.ok = true;
+            result.found = cit->second.found;
+            result.value = cit->second.value;
+            co_return result;
+        }
+    }
+
+    std::optional<GetResponse> resp;
+    if (hinted_rw && tcfg_.readFromAnyReplica) {
+        // Section 4.6 relaxation: read from any replica; the primary
+        // re-validates the observed version at prepare time.
+        MilanaServer *replica = anyReplicaFor(key, replicaRng_);
+        stats_.counter("txn.replica_reads").inc();
+        GetRequest req{key, txn.begin_};
+        resp = co_await net_.callTyped<GetResponse>(
+            node_, replica->nodeId(), replica->handleGet(req));
+    } else {
+        resp = co_await getAt(key, txn.begin_);
+    }
+    if (!resp.has_value() || resp->unavailable) {
+        stats_.counter("txn.read_failures").inc();
+        co_return result; // ok = false
+    }
+
+    Transaction::CachedRead cached;
+    cached.found = resp->found;
+    cached.value = resp->value;
+    cached.observed = resp->found ? resp->version : Version::zero();
+    // Snapshot consistency bookkeeping (section 4.3): a prepared write
+    // at or below ts_begin, or a returned version above ts_begin (only
+    // possible on single-version storage), breaks the snapshot.
+    if (resp->preparedLeqAt ||
+        (resp->found && resp->version > txn.begin_))
+        txn.snapshotViolated_ = true;
+    txn.readSet_[key] = cached;
+    if (tcfg_.interTxnCacheCapacity > 0) {
+        if (interTxnCache_.size() >= tcfg_.interTxnCacheCapacity)
+            interTxnCache_.erase(interTxnCache_.begin());
+        interTxnCache_[key] = cached;
+    }
+
+    result.ok = true;
+    result.found = cached.found;
+    result.value = cached.value;
+    co_return result;
+}
+
+void
+MilanaClient::put(Transaction &txn, Key key, Value value)
+{
+    if (!txn.active_)
+        PANIC("put on inactive transaction");
+    txn.writeSet_[key] = std::move(value);
+}
+
+void
+MilanaClient::abortTransaction(Transaction &txn)
+{
+    txn.active_ = false;
+    txn.readSet_.clear();
+    txn.writeSet_.clear();
+    stats_.counter("txn.client_aborts").inc();
+    noteAcked(clock_.localNow());
+}
+
+sim::Task<CommitResult>
+MilanaClient::commitReadOnlyLocal(Transaction &txn)
+{
+    // Local validation (section 4.3): zero messages. The transaction
+    // commits iff every value in its read set came from a consistent
+    // snapshot at ts_begin.
+    stats_.counter("txn.local_validations").inc();
+    if (txn.snapshotViolated_) {
+        stats_.counter("txn.local_validation_fail").inc();
+        co_return CommitResult::Aborted;
+    }
+    co_return CommitResult::Committed;
+}
+
+sim::Task<CommitResult>
+MilanaClient::twoPhaseCommit(Transaction &txn, bool read_only)
+{
+    const Version commit_version{clock_.localNow(), clientId_};
+    txn.commitVersion_ = commit_version;
+
+    // Partition read and write sets by participant shard.
+    std::map<common::ShardId, semel::PrepareRequest> by_shard;
+    for (const auto &[key, cached] : txn.readSet_) {
+        auto &req = by_shard[master_.shardMap().shardOf(key)];
+        req.readSet.push_back(ReadSetEntry{key, cached.observed});
+    }
+    for (const auto &[key, value] : txn.writeSet_) {
+        auto &req = by_shard[master_.shardMap().shardOf(key)];
+        req.writeSet.push_back(semel::WriteSetEntry{key, value});
+    }
+    std::vector<common::ShardId> participants;
+    for (const auto &[shard, req] : by_shard)
+        participants.push_back(shard);
+
+    struct VoteState
+    {
+        explicit VoteState(sim::Simulator &s, std::uint32_t n)
+            : all(s, n)
+        {
+        }
+        sim::Quorum all;
+        bool anyAbort = false;
+        bool anyFailure = false;
+    };
+    auto votes = std::make_shared<VoteState>(
+        sim_, static_cast<std::uint32_t>(by_shard.size()));
+
+    for (auto &[shard, req] : by_shard) {
+        req.txn = txn.id_;
+        req.commitVersion = commit_version;
+        req.beginVersion = txn.begin_;
+        req.participants = participants;
+        MilanaServer *primary = milanaPrimaryFor(shard);
+
+        sim::spawn([](MilanaClient *self, MilanaServer *primary,
+                      semel::PrepareRequest request,
+                      std::shared_ptr<VoteState> votes)
+                       -> sim::Task<void> {
+            std::optional<semel::PrepareResponse> resp;
+            for (std::uint32_t attempt = 0;
+                 attempt <= self->tcfg_.prepareRetries && !resp;
+                 ++attempt) {
+                resp = co_await self->net_.callTyped<semel::PrepareResponse>(
+                    self->nodeId(), primary->nodeId(),
+                    primary->handlePrepare(request));
+            }
+            if (!resp.has_value())
+                votes->anyFailure = true;
+            else if (resp->vote == Vote::Abort)
+                votes->anyAbort = true;
+            votes->all.arrive();
+        }(this, primary, req, votes));
+    }
+
+    co_await votes->all.wait();
+
+    CommitResult result;
+    TxnDecision decision;
+    if (votes->anyFailure) {
+        result = CommitResult::Failed;
+        decision = TxnDecision::Abort;
+    } else if (votes->anyAbort) {
+        result = CommitResult::Aborted;
+        decision = TxnDecision::Abort;
+    } else {
+        result = CommitResult::Committed;
+        decision = TxnDecision::Commit;
+    }
+
+    // Read-only transactions prepared nothing: no decision phase.
+    if (!read_only) {
+        // Report to the application now; notify participants
+        // asynchronously (section 4.2).
+        for (const auto &shard : participants) {
+            MilanaServer *primary = milanaPrimaryFor(shard);
+            sim::spawn([](MilanaClient *self, MilanaServer *primary,
+                          semel::DecisionRequest request)
+                           -> sim::Task<void> {
+                (void)co_await
+                    self->net_.callTyped<semel::DecisionResponse>(
+                        self->nodeId(), primary->nodeId(),
+                        primary->handleDecision(request));
+            }(this, primary,
+              semel::DecisionRequest{txn.id_, decision}));
+        }
+    }
+    co_return result;
+}
+
+sim::Task<CommitResult>
+MilanaClient::decideCommit(Transaction &txn)
+{
+    if (txn.readOnly() && tcfg_.localValidation)
+        co_return co_await commitReadOnlyLocal(txn);
+    if (txn.readOnly()) {
+        // Remote validation of the read-only snapshot (w/o LV). The
+        // client-side inconsistency evidence is decisive either way.
+        if (txn.snapshotViolated_)
+            co_return CommitResult::Aborted;
+        co_return co_await twoPhaseCommit(txn, true);
+    }
+    co_return co_await twoPhaseCommit(txn, false);
+}
+
+sim::Task<CommitResult>
+MilanaClient::commitTransaction(Transaction &txn)
+{
+    if (!txn.active_)
+        PANIC("commit on inactive transaction");
+    txn.active_ = false;
+
+    const CommitResult result = co_await decideCommit(txn);
+
+    switch (result) {
+      case CommitResult::Committed:
+        stats_.counter("txn.committed").inc();
+        if (tcfg_.interTxnCacheCapacity > 0) {
+            // Committed writes refresh the cache at the new version.
+            for (const auto &[key, value] : txn.writeSet_) {
+                Transaction::CachedRead fresh;
+                fresh.found = true;
+                fresh.value = value;
+                fresh.observed = txn.commitVersion_;
+                interTxnCache_[key] = fresh;
+            }
+        }
+        break;
+      case CommitResult::Aborted:
+        stats_.counter("txn.aborted").inc();
+        // Cached reads may have caused the conflict: drop them so the
+        // retry reads fresh data.
+        for (const auto &[key, cached] : txn.readSet_)
+            interTxnCache_.erase(key);
+        break;
+      case CommitResult::Failed:
+        stats_.counter("txn.failed").inc();
+        break;
+    }
+    // Watermark input: the timestamp of the latest *decided*
+    // transaction (section 4.4).
+    noteAcked(clock_.localNow());
+    co_return result;
+}
+
+} // namespace milana

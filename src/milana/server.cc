@@ -1,0 +1,709 @@
+#include "milana/server.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+#include "sim/future.hh"
+#include "sim/sync.hh"
+
+namespace milana {
+
+using common::kMillisecond;
+
+MilanaServer::MilanaServer(sim::Simulator &sim, net::Network &net,
+                           NodeId id, common::ShardId shard,
+                           ftl::KvBackend &backend,
+                           clocksync::Clock &clock,
+                           const semel::Server::Config &config,
+                           const MilanaConfig &milana_config,
+                           semel::Master &master,
+                           semel::Directory &directory)
+    : semel::Server(sim, net, id, shard, backend, config),
+      mcfg_(milana_config),
+      clock_(clock),
+      master_(master),
+      directory_(directory)
+{
+}
+
+void
+MilanaServer::start()
+{
+    started_ = true;
+    if (mcfg_.enableLeases && !backups_.empty())
+        sim::spawn(leaseLoop());
+    sim::spawn(ctpScanLoop());
+}
+
+sim::Task<void>
+MilanaServer::loadKey(Key key, Value value, Version version)
+{
+    (void)co_await backend_.put(key, value, version);
+    noteCommitted(key, version);
+    auto &ks = keys_.state(key);
+    ks.latestCommitted = std::max(ks.latestCommitted, version);
+    keyStateReady_[key] = true;
+}
+
+sim::Task<void>
+MilanaServer::ensureKeyState(Key key)
+{
+    if (keyStateReady_.count(key))
+        co_return;
+    // Rebuild ts_latestCommitted from the version stamps in storage
+    // (section 4.5); ts_latestRead is unrecoverable — the lease wait
+    // already covered it.
+    const ftl::GetResult latest = co_await backend_.getLatest(key);
+    auto &ks = keys_.state(key);
+    if (latest.found)
+        ks.latestCommitted = std::max(ks.latestCommitted, latest.version);
+    keyStateReady_[key] = true;
+}
+
+// ------------------------------------------------------------- reads
+
+sim::Task<GetResponse>
+MilanaServer::handleGet(GetRequest request)
+{
+    stats_.counter("milana.gets").inc();
+    co_await chargeCpu();
+    GetResponse resp;
+
+    // Lease discipline: serve a read at timestamp `at` only while
+    // holding a lease covering it, so a future primary can bound our
+    // ts_latestRead values.
+    const Time deadline = sim_.now() + common::kSecond;
+    while (recovering_ ||
+           (mcfg_.enableLeases && !backups_.empty() &&
+            request.at.timestamp > leaseUntil_)) {
+        if (sim_.now() > deadline || sim_.stopRequested()) {
+            resp.unavailable = true;
+            stats_.counter("milana.get_unavailable").inc();
+            co_return resp;
+        }
+        if (!recovering_)
+            (void)co_await renewLease();
+        else
+            co_await sim::sleepFor(sim_, kMillisecond);
+    }
+
+    co_await ensureKeyState(request.key);
+
+    // Synchronous with the flag computation and the backend's chain
+    // lookup: record the read and capture the prepared flag BEFORE the
+    // storage access, so no prepare with stamp <= at can slip between
+    // the snapshot and the flag (see section 4.3's argument).
+    auto &ks = keys_.state(request.key);
+    ks.latestRead = std::max(ks.latestRead, request.at);
+    const bool prepared_leq =
+        ks.prepared.has_value() && *ks.prepared <= request.at;
+
+    const ftl::GetResult r =
+        co_await backend_.get(request.key, request.at);
+    resp.found = r.found;
+    resp.version = r.version;
+    resp.value = r.value;
+    resp.preparedLeqAt = prepared_leq;
+    co_return resp;
+}
+
+// -------------------------------------------------------- validation
+
+Vote
+MilanaServer::validate(const PrepareRequest &request)
+{
+    // Algorithm 1, verbatim.
+    for (const auto &read : request.readSet) {
+        const auto &ks = keys_.state(read.key);
+        if (ks.prepared.has_value()) {
+            stats_.counter("milana.abort_read_prepared").inc();
+            return Vote::Abort;
+        }
+        if (ks.latestCommitted != read.observed) {
+            stats_.counter("milana.abort_read_stale").inc();
+            return Vote::Abort;
+        }
+    }
+    const Version new_version = request.commitVersion;
+    for (const auto &write : request.writeSet) {
+        const auto &ks = keys_.state(write.key);
+        if (ks.prepared.has_value()) {
+            stats_.counter("milana.abort_write_prepared").inc();
+            return Vote::Abort;
+        }
+        if (ks.latestRead >= new_version) {
+            stats_.counter("milana.abort_write_read_conflict").inc();
+            return Vote::Abort;
+        }
+        if (ks.latestCommitted >= new_version) {
+            stats_.counter("milana.abort_write_stale").inc();
+            return Vote::Abort;
+        }
+    }
+    return Vote::Commit;
+}
+
+sim::Task<PrepareResponse>
+MilanaServer::handlePrepare(PrepareRequest request)
+{
+    stats_.counter("milana.prepares").inc();
+    co_await chargeCpu();
+    PrepareResponse resp;
+
+    if (recovering_) {
+        resp.vote = Vote::Abort;
+        co_return resp;
+    }
+
+    // Idempotent retransmissions.
+    switch (txns_.statusOf(request.txn)) {
+      case semel::TxnStatus::Prepared:
+      case semel::TxnStatus::Committed:
+        resp.vote = Vote::Commit;
+        co_return resp;
+      case semel::TxnStatus::Aborted:
+        resp.vote = Vote::Abort;
+        co_return resp;
+      case semel::TxnStatus::Unknown:
+        break;
+    }
+
+    for (const auto &read : request.readSet)
+        co_await ensureKeyState(read.key);
+    for (const auto &write : request.writeSet)
+        co_await ensureKeyState(write.key);
+
+    if (request.writeSet.empty()) {
+        // Remote validation of a read-only transaction (used when
+        // client-local validation is disabled, Figure 8's "w/o LV"):
+        // the snapshot at ts_begin is consistent iff each observed
+        // version is still the youngest <= ts_begin and no prepared
+        // write <= ts_begin exists. Nothing prepares, nothing
+        // replicates — validate and vote.
+        resp.vote = Vote::Commit;
+        for (const auto &read : request.readSet) {
+            const auto &ks = keys_.state(read.key);
+            if (ks.prepared.has_value() &&
+                *ks.prepared <= request.beginVersion) {
+                resp.vote = Vote::Abort;
+                break;
+            }
+            const auto snapshot =
+                backend_.versionAt(read.key, request.beginVersion);
+            const Version expect = snapshot.has_value()
+                                       ? *snapshot
+                                       : ks.latestCommitted;
+            if (expect != read.observed) {
+                resp.vote = Vote::Abort;
+                break;
+            }
+        }
+        if (resp.vote == Vote::Commit) {
+            // The paper's remote validation costs the full prepare
+            // path: the primary syncs with f backups before voting
+            // (section 4.3 counts this as the second round trip that
+            // local validation eliminates).
+            co_await barrierBackups();
+        }
+        stats_.counter(resp.vote == Vote::Commit
+                           ? "milana.votes_commit"
+                           : "milana.votes_abort")
+            .inc();
+        co_return resp;
+    }
+
+    resp.vote = validate(request);
+    if (resp.vote == Vote::Abort) {
+        stats_.counter("milana.votes_abort").inc();
+        co_return resp;
+    }
+
+    // Mark the write set prepared — synchronously with validation, so
+    // no concurrent prepare can interleave.
+    for (const auto &write : request.writeSet) {
+        auto &ks = keys_.state(write.key);
+        ks.prepared = request.commitVersion;
+        ks.preparedBy = request.txn;
+    }
+
+    TxnEntry entry;
+    entry.txn = request.txn;
+    entry.commitVersion = request.commitVersion;
+    entry.writeSet = request.writeSet;
+    entry.participants = request.participants;
+    entry.status = semel::TxnStatus::Prepared;
+    entry.preparedAt = sim_.now();
+    txns_.insert(std::move(entry));
+
+    // Persist the prepare on a majority before voting: replicate the
+    // record (with the write set and shard list) and wait for f acks.
+    ReplicateTxnRecord record;
+    record.kind = TxnRecordKind::Prepared;
+    record.txn = request.txn;
+    record.commitVersion = request.commitVersion;
+    record.writeSet = request.writeSet;
+    record.participants = request.participants;
+    co_await replicateTxnRecord(std::move(record), true);
+
+    stats_.counter("milana.votes_commit").inc();
+    co_return resp;
+}
+
+// ---------------------------------------------------------- decision
+
+sim::Task<void>
+MilanaServer::applyCommit(TxnEntry &entry)
+{
+    // Apply buffered writes in parallel; each key's prepared mark is
+    // cleared only after its write is durable, so read-only snapshots
+    // taken in the window still see the prepared flag (section 4.3).
+    auto done = std::make_shared<sim::Quorum>(
+        sim_, static_cast<std::uint32_t>(entry.writeSet.size()));
+    for (const auto &write : entry.writeSet) {
+        sim::spawn([](MilanaServer *self, Key key, Value value,
+                      Version version, TxnId txn,
+                      std::shared_ptr<sim::Quorum> q) -> sim::Task<void> {
+            (void)co_await self->backend_.put(key, value, version);
+            auto &ks = self->keys_.state(key);
+            ks.latestCommitted = std::max(ks.latestCommitted, version);
+            if (ks.prepared.has_value() && ks.preparedBy == txn)
+                ks.prepared.reset();
+            self->noteCommitted(key, version);
+            q->arrive();
+        }(this, write.key, write.value, entry.commitVersion, entry.txn,
+          done));
+    }
+    if (!entry.writeSet.empty())
+        co_await done->wait();
+    stats_.counter("milana.committed").inc();
+}
+
+void
+MilanaServer::applyAbort(TxnEntry &entry)
+{
+    for (const auto &write : entry.writeSet) {
+        auto &ks = keys_.state(write.key);
+        if (ks.prepared.has_value() && ks.preparedBy == entry.txn)
+            ks.prepared.reset();
+    }
+    stats_.counter("milana.aborted").inc();
+}
+
+sim::Task<DecisionResponse>
+MilanaServer::handleDecision(DecisionRequest request)
+{
+    stats_.counter("milana.decisions").inc();
+    DecisionResponse resp;
+    resp.ok = true;
+
+    TxnEntry *entry = txns_.find(request.txn);
+    if (entry == nullptr || entry->status != semel::TxnStatus::Prepared)
+        co_return resp; // duplicate or already resolved: idempotent
+
+    // Claim the entry synchronously BEFORE the apply suspends: the
+    // client's decision and the CTP backup coordinator can race here,
+    // and the loser must take the idempotent path above rather than
+    // resolve (erase) the entry out from under the winner.
+    entry->status = request.decision == TxnDecision::Commit
+                        ? semel::TxnStatus::Committed
+                        : semel::TxnStatus::Aborted;
+
+    ReplicateTxnRecord record;
+    record.txn = request.txn;
+    record.commitVersion = entry->commitVersion;
+    record.participants = entry->participants;
+
+    if (request.decision == TxnDecision::Commit) {
+        record.kind = TxnRecordKind::Committed;
+        record.writeSet = entry->writeSet;
+        co_await applyCommit(*entry);
+        txns_.resolve(request.txn, semel::TxnStatus::Committed);
+    } else {
+        record.kind = TxnRecordKind::Aborted;
+        applyAbort(*entry);
+        txns_.resolve(request.txn, semel::TxnStatus::Aborted);
+    }
+    co_await replicateTxnRecord(std::move(record), true);
+    co_return resp;
+}
+
+sim::Task<TxnStatusResponse>
+MilanaServer::handleTxnStatus(TxnStatusRequest request)
+{
+    TxnStatusResponse resp;
+    resp.status = txns_.statusOf(request.txn);
+    co_return resp;
+}
+
+// --------------------------------------------------------- backups
+
+sim::Task<void>
+MilanaServer::replicateTxnRecord(ReplicateTxnRecord record,
+                                 bool wait_quorum)
+{
+    // Our own durable log entry first (the primary is a replica too).
+    txnLog_.push_back(record);
+    if (backups_.empty())
+        co_return;
+
+    const auto needed = std::min<std::uint32_t>(
+        config_.backupAcksNeeded,
+        static_cast<std::uint32_t>(backups_.size()));
+    auto quorum = std::make_shared<sim::Quorum>(sim_, needed);
+    for (semel::Server *backup : backups_) {
+        auto *mb = dynamic_cast<MilanaServer *>(backup);
+        if (mb == nullptr)
+            PANIC("milana primary wired to a non-milana backup");
+        sim::spawn([](MilanaServer *self, MilanaServer *backup,
+                      ReplicateTxnRecord rec,
+                      std::shared_ptr<sim::Quorum> q) -> sim::Task<void> {
+            auto ok = co_await self->net_.callTyped<bool>(
+                self->id_, backup->nodeId(),
+                backup->handleReplicateTxnRecord(rec));
+            if (ok.has_value() && *ok)
+                q->arrive();
+        }(this, mb, record, quorum));
+    }
+    if (wait_quorum)
+        co_await quorum->wait();
+}
+
+sim::Task<bool>
+MilanaServer::handleBarrier()
+{
+    co_return true;
+}
+
+sim::Task<void>
+MilanaServer::barrierBackups()
+{
+    if (backups_.empty())
+        co_return;
+    const auto needed = std::min<std::uint32_t>(
+        config_.backupAcksNeeded,
+        static_cast<std::uint32_t>(backups_.size()));
+    auto quorum = std::make_shared<sim::Quorum>(sim_, needed);
+    for (semel::Server *backup : backups_) {
+        auto *mb = dynamic_cast<MilanaServer *>(backup);
+        sim::spawn([](MilanaServer *self, MilanaServer *backup,
+                      std::shared_ptr<sim::Quorum> q) -> sim::Task<void> {
+            auto ok = co_await self->net_.callTyped<bool>(
+                self->id_, backup->nodeId(), backup->handleBarrier());
+            if (ok.has_value())
+                q->arrive();
+        }(this, mb, quorum));
+    }
+    co_await quorum->wait();
+}
+
+sim::Task<bool>
+MilanaServer::handleReplicateTxnRecord(ReplicateTxnRecord record)
+{
+    stats_.counter("milana.replica_records").inc();
+    // Log first (models the persistent-memory log write), then apply —
+    // records may arrive in any order (Figure 5).
+    txnLog_.push_back(record);
+
+    switch (record.kind) {
+      case TxnRecordKind::Prepared: {
+        if (txns_.statusOf(record.txn) == semel::TxnStatus::Unknown) {
+            TxnEntry entry;
+            entry.txn = record.txn;
+            entry.commitVersion = record.commitVersion;
+            entry.writeSet = record.writeSet;
+            entry.participants = record.participants;
+            entry.status = semel::TxnStatus::Prepared;
+            entry.preparedAt = sim_.now();
+            txns_.insert(std::move(entry));
+        }
+        break;
+      }
+      case TxnRecordKind::Committed: {
+        txns_.resolve(record.txn, semel::TxnStatus::Committed);
+        // Apply the committed writes to local storage, asynchronously:
+        // the ack only promises the log entry.
+        for (const auto &write : record.writeSet) {
+            sim::spawn([](MilanaServer *self, Key key, Value value,
+                          Version version) -> sim::Task<void> {
+                (void)co_await self->backend_.put(key, value, version);
+                self->noteCommitted(key, version);
+            }(this, write.key, write.value, record.commitVersion));
+        }
+        break;
+      }
+      case TxnRecordKind::Aborted:
+        txns_.resolve(record.txn, semel::TxnStatus::Aborted);
+        break;
+    }
+    co_return true;
+}
+
+// ------------------------------------------------------------ leases
+
+sim::Task<Time>
+MilanaServer::handleLeaseGrant(Time until)
+{
+    maxLeaseGranted_ = std::max(maxLeaseGranted_, until);
+    co_return maxLeaseGranted_;
+}
+
+sim::Task<bool>
+MilanaServer::renewLease()
+{
+    const Time until = clock_.localNow() + mcfg_.leaseDuration;
+    const auto needed = std::min<std::uint32_t>(
+        config_.backupAcksNeeded,
+        static_cast<std::uint32_t>(backups_.size()));
+    if (needed == 0) {
+        leaseUntil_ = until;
+        co_return true;
+    }
+    auto quorum = std::make_shared<sim::Quorum>(sim_, needed);
+    for (semel::Server *backup : backups_) {
+        auto *mb = dynamic_cast<MilanaServer *>(backup);
+        sim::spawn([](MilanaServer *self, MilanaServer *backup,
+                      Time until,
+                      std::shared_ptr<sim::Quorum> q) -> sim::Task<void> {
+            auto ok = co_await self->net_.callTyped<Time>(
+                self->id_, backup->nodeId(),
+                backup->handleLeaseGrant(until));
+            if (ok.has_value())
+                q->arrive();
+        }(this, mb, until, quorum));
+    }
+    // Bounded wait: with a majority of backups down, renewal fails.
+    sim::Promise<bool> done(sim_);
+    auto fut = done.future();
+    sim::spawn([](std::shared_ptr<sim::Quorum> q,
+                  sim::Promise<bool> p) -> sim::Task<void> {
+        co_await q->wait();
+        p.set(true);
+    }(quorum, done));
+    auto granted = co_await fut.withTimeout(20 * kMillisecond);
+    if (granted.has_value()) {
+        leaseUntil_ = std::max(leaseUntil_, until);
+        stats_.counter("milana.lease_renewals").inc();
+        co_return true;
+    }
+    co_return false;
+}
+
+sim::Task<void>
+MilanaServer::leaseLoop()
+{
+    while (!sim_.stopRequested()) {
+        if (!recovering_)
+            (void)co_await renewLease();
+        co_await sim::sleepFor(sim_, mcfg_.leaseRenewPeriod);
+    }
+}
+
+// --------------------------------------------------------------- CTP
+
+sim::Task<void>
+MilanaServer::resolveOrphan(TxnId txn)
+{
+    TxnEntry *entry = txns_.find(txn);
+    if (entry == nullptr || entry->status != semel::TxnStatus::Prepared)
+        co_return;
+    stats_.counter("milana.ctp_invocations").inc();
+    // Copy before deciding: handleDecision resolves (erases) the entry.
+    const std::vector<common::ShardId> participants = entry->participants;
+
+    bool saw_commit = false;
+    bool saw_abort_or_unknown = false;
+    bool undeterminable = false;
+
+    for (const common::ShardId participant : participants) {
+        if (participant == shard_)
+            continue;
+        auto *peer = dynamic_cast<MilanaServer *>(
+            directory_.at(master_.primaryOf(participant)));
+        if (peer == nullptr)
+            PANIC("participant shard " << participant << " has no server");
+        TxnStatusRequest req{txn};
+        auto resp = co_await net_.callTyped<TxnStatusResponse>(
+            id_, peer->nodeId(), peer->handleTxnStatus(req));
+        if (!resp.has_value()) {
+            undeterminable = true; // peer unreachable; stay blocked
+            continue;
+        }
+        switch (resp->status) {
+          case semel::TxnStatus::Committed:
+            saw_commit = true;
+            break;
+          case semel::TxnStatus::Aborted:
+          case semel::TxnStatus::Unknown:
+            // Rule 2/3: a participant that never prepared (or already
+            // aborted) means the coordinator cannot have committed.
+            saw_abort_or_unknown = true;
+            break;
+          case semel::TxnStatus::Prepared:
+            break;
+        }
+    }
+
+    TxnDecision decision = TxnDecision::Unknown;
+    if (saw_commit) {
+        decision = TxnDecision::Commit; // rule 1
+    } else if (saw_abort_or_unknown) {
+        decision = TxnDecision::Abort; // rules 2 and 3
+    } else if (!undeterminable) {
+        decision = TxnDecision::Commit; // rule 4: all prepared
+    } else {
+        co_return; // cannot determine yet; retry at the next scan
+    }
+
+    stats_.counter(decision == TxnDecision::Commit
+                       ? "milana.ctp_commits"
+                       : "milana.ctp_aborts")
+        .inc();
+    DecisionRequest req;
+    req.txn = txn;
+    req.decision = decision;
+    (void)co_await handleDecision(req);
+
+    // As backup coordinator, propagate the outcome to the other
+    // participants so their prepared marks clear too.
+    for (const common::ShardId participant : participants) {
+        if (participant == shard_)
+            continue;
+        auto *peer = dynamic_cast<MilanaServer *>(
+            directory_.at(master_.primaryOf(participant)));
+        if (peer == nullptr)
+            continue;
+        (void)co_await net_.callTyped<DecisionResponse>(
+            id_, peer->nodeId(), peer->handleDecision(req));
+    }
+}
+
+sim::Task<void>
+MilanaServer::ctpScanLoop()
+{
+    while (!sim_.stopRequested()) {
+        co_await sim::sleepFor(sim_, mcfg_.ctpScanPeriod);
+        if (recovering_)
+            continue;
+        const Time deadline = sim_.now() - mcfg_.ctpTimeout;
+        for (const TxnId &txn : txns_.preparedBefore(deadline))
+            co_await resolveOrphan(txn);
+    }
+}
+
+// ---------------------------------------------------------- recovery
+
+sim::Task<MilanaServer::RecoveryPull>
+MilanaServer::handleRecoveryPull()
+{
+    RecoveryPull pull;
+    pull.txnLog = txnLog_;
+    pull.maxLeaseGranted = maxLeaseGranted_;
+    co_return pull;
+}
+
+sim::Task<void>
+MilanaServer::recoverAsPrimary()
+{
+    recovering_ = true;
+    stats_.counter("milana.recoveries").inc();
+
+    // Collect logs from every reachable replica of the shard.
+    std::vector<ReplicateTxnRecord> merged = txnLog_;
+    Time max_lease = maxLeaseGranted_;
+    for (const NodeId node : master_.replicasOf(shard_)) {
+        if (node == id_)
+            continue;
+        auto *peer = dynamic_cast<MilanaServer *>(directory_.at(node));
+        if (peer == nullptr)
+            continue;
+        auto pull = co_await net_.callTyped<RecoveryPull>(
+            id_, node, peer->handleRecoveryPull());
+        if (!pull.has_value())
+            continue; // crashed replica
+        merged.insert(merged.end(), pull->txnLog.begin(),
+                      pull->txnLog.end());
+        max_lease = std::max(max_lease, pull->maxLeaseGranted);
+    }
+
+    // Algorithm 2: fold the records into a fresh transaction table.
+    // Outcomes dominate prepares; any single record of an outcome is
+    // authoritative (it could only exist if the coordinator decided).
+    std::map<TxnId, ReplicateTxnRecord> prepares;
+    std::map<TxnId, ReplicateTxnRecord> outcomes;
+    for (const auto &rec : merged) {
+        if (rec.kind == TxnRecordKind::Prepared)
+            prepares.emplace(rec.txn, rec);
+        else
+            outcomes.emplace(rec.txn, rec);
+    }
+
+    keys_.clear();
+    keyStateReady_.clear();
+
+    for (const auto &[txn, rec] : outcomes) {
+        if (rec.kind == TxnRecordKind::Committed) {
+            // Re-apply: backend puts are idempotent per version.
+            for (const auto &write : rec.writeSet) {
+                (void)co_await backend_.put(write.key, write.value,
+                                            rec.commitVersion);
+                noteCommitted(write.key, rec.commitVersion);
+            }
+            txns_.resolve(txn, semel::TxnStatus::Committed);
+        } else {
+            txns_.resolve(txn, semel::TxnStatus::Aborted);
+        }
+    }
+
+    for (const auto &[txn, rec] : prepares) {
+        if (outcomes.count(txn))
+            continue; // already decided above
+        if (txns_.statusOf(txn) != semel::TxnStatus::Unknown)
+            continue;
+        TxnEntry entry;
+        entry.txn = txn;
+        entry.commitVersion = rec.commitVersion;
+        entry.writeSet = rec.writeSet;
+        entry.participants = rec.participants;
+        entry.status = semel::TxnStatus::Prepared;
+        entry.preparedAt = sim_.now();
+        txns_.insert(entry);
+
+        if (rec.participants.size() <= 1) {
+            // Single-shard prepared == committed (Algorithm 2).
+            DecisionRequest req;
+            req.txn = txn;
+            req.decision = TxnDecision::Commit;
+            (void)co_await handleDecision(req);
+        } else {
+            // Multi-shard: the CTP scanner will resolve it against the
+            // other participants once service resumes. Re-instate the
+            // prepared marks so conflicting transactions abort until
+            // then.
+            for (const auto &write : rec.writeSet) {
+                auto &ks = keys_.state(write.key);
+                ks.prepared = rec.commitVersion;
+                ks.preparedBy = txn;
+            }
+        }
+    }
+
+    // Propagate the merged table to the backups (bring them level).
+    for (const auto &rec : merged)
+        co_await replicateTxnRecord(rec, false);
+
+    // Wait out the old primary's lease so no read it served can be
+    // contradicted (its ts_latestRead values are lost with it).
+    if (mcfg_.enableLeases) {
+        while (clock_.localNow() <=
+               max_lease + 10 * kMillisecond) {
+            co_await sim::sleepFor(sim_, kMillisecond);
+        }
+    }
+
+    recovering_ = false;
+    if (!started_)
+        start();
+}
+
+} // namespace milana

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * MILANA transaction server (paper section 4): a SEMEL primary
+ * extended with the transaction API.
+ *
+ * Responsibilities at the primary:
+ *  - serve snapshot gets at the transaction's begin timestamp,
+ *    recording ts_latestRead and piggy-backing the prepared flag that
+ *    enables client-local validation of read-only transactions
+ *    (section 4.3);
+ *  - validate prepares with Algorithm 1 (OCC), mark prepared keys,
+ *    replicate the prepare record to f backups, and vote;
+ *  - on the commit decision, apply the buffered writes, advance
+ *    ts_latestCommitted, clear the prepared marks, and replicate the
+ *    outcome — updates and prepare records may reach backups in any
+ *    order (Figure 5);
+ *  - act as backup coordinator for orphaned transactions via the
+ *    cooperative termination protocol (section 4.5);
+ *  - maintain read leases so ts_latestRead (which is never persisted)
+ *    cannot be violated across a failover.
+ *
+ * At a backup the server logs replicated transaction records and
+ * applies committed write sets; a promoted backup rebuilds the
+ * transaction table by merging the logs of a majority of replicas
+ * (Algorithm 2) and waits out the old primary's lease before serving.
+ */
+
+#ifndef MILANA_SERVER_HH
+#define MILANA_SERVER_HH
+
+#include <vector>
+
+#include "clocksync/clock.hh"
+#include "milana/txn_table.hh"
+#include "semel/client.hh"
+#include "semel/server.hh"
+
+namespace milana {
+
+using common::NodeId;
+using common::Value;
+using semel::DecisionRequest;
+using semel::DecisionResponse;
+using semel::GetRequest;
+using semel::GetResponse;
+using semel::PrepareRequest;
+using semel::PrepareResponse;
+using semel::ReplicateTxnRecord;
+using semel::TxnDecision;
+using semel::TxnRecordKind;
+using semel::TxnStatusRequest;
+using semel::TxnStatusResponse;
+using semel::Vote;
+
+class MilanaServer : public semel::Server
+{
+  public:
+    struct MilanaConfig
+    {
+        /** Read-lease duration granted by backups. */
+        common::Duration leaseDuration = 2 * common::kSecond;
+        /** How often the primary renews its lease. */
+        common::Duration leaseRenewPeriod = 500 * common::kMillisecond;
+        /** Orphaned-prepare age that triggers the CTP. */
+        common::Duration ctpTimeout = 50 * common::kMillisecond;
+        common::Duration ctpScanPeriod = 20 * common::kMillisecond;
+        /** Disable leases for single-node configurations. */
+        bool enableLeases = true;
+    };
+
+    MilanaServer(sim::Simulator &sim, net::Network &net, NodeId id,
+                 common::ShardId shard, ftl::KvBackend &backend,
+                 clocksync::Clock &clock, const semel::Server::Config &config,
+                 const MilanaConfig &milana_config,
+                 semel::Master &master, semel::Directory &directory);
+
+    /** Start background processes (lease renewal, CTP scanner). */
+    void start();
+
+    // -------------------------------------------------- RPC handlers
+
+    /**
+     * Snapshot read at request.at (= the transaction's ts_begin).
+     * Updates ts_latestRead and reports whether a prepared version
+     * with stamp <= at exists (local-validation input).
+     */
+    sim::Task<GetResponse> handleGet(GetRequest request) override;
+
+    /** Phase 1 of 2PC: validate (Algorithm 1), persist + replicate the
+     *  prepare record, vote. */
+    sim::Task<PrepareResponse> handlePrepare(PrepareRequest request);
+
+    /** Phase 2: apply the coordinator's decision. Idempotent. */
+    sim::Task<DecisionResponse> handleDecision(DecisionRequest request);
+
+    /** CTP status query from a peer participant. */
+    sim::Task<TxnStatusResponse> handleTxnStatus(TxnStatusRequest request);
+
+    /** Backup side: log a replicated transaction record; apply
+     *  committed write sets. Order-insensitive. */
+    sim::Task<bool> handleReplicateTxnRecord(ReplicateTxnRecord record);
+
+    /** Backup side: grant a read lease to the primary. */
+    sim::Task<Time> handleLeaseGrant(Time until);
+
+    /** Recovery pull: a promoted backup collects logs and the maximum
+     *  granted lease from its peers. */
+    struct RecoveryPull
+    {
+        std::vector<ReplicateTxnRecord> txnLog;
+        Time maxLeaseGranted = 0;
+    };
+    sim::Task<RecoveryPull> handleRecoveryPull();
+
+    // ------------------------------------------------------ failover
+
+    /**
+     * Promote this (backup) server to primary: merge transaction logs
+     * from all reachable replicas (Algorithm 2), resolve in-doubt
+     * transactions via the CTP, rebuild per-key state, wait out the
+     * old primary's lease, then begin service. The master must already
+     * have repointed the shard at this node.
+     */
+    sim::Task<void> recoverAsPrimary();
+
+    // ---------------------------------------------------- population
+
+    /** Bulk-load one key (initial population, no protocol overhead). */
+    sim::Task<void> loadKey(Key key, Value value, Version version);
+
+    // ---------------------------------------------------- inspection
+
+    const TxnTable &txnTable() const { return txns_; }
+    KeyStateTable &keyStates() { return keys_; }
+    bool recovering() const { return recovering_; }
+    Time leaseUntil() const { return leaseUntil_; }
+
+  private:
+    /** Algorithm 1. Assumes key states are initialized. */
+    Vote validate(const PrepareRequest &request);
+
+    /** Initialize a key's DRAM state from storage if unseen (needed
+     *  after failover, when ts_latestCommitted must be rebuilt from
+     *  the version stamps). */
+    sim::Task<void> ensureKeyState(Key key);
+
+    sim::Task<void> applyCommit(TxnEntry &entry);
+    void applyAbort(TxnEntry &entry);
+
+    sim::Task<void> replicateTxnRecord(ReplicateTxnRecord record,
+                                       bool wait_quorum);
+
+    /** Round-trip sync with f backups (remote read-only validation
+     *  pays this; local validation is what removes it). */
+    sim::Task<bool> handleBarrier();
+    sim::Task<void> barrierBackups();
+
+    sim::Task<bool> renewLease();
+    sim::Task<void> leaseLoop();
+    sim::Task<void> ctpScanLoop();
+
+    /** Cooperative termination for an orphaned prepared transaction. */
+    sim::Task<void> resolveOrphan(TxnId txn);
+
+    MilanaConfig mcfg_;
+    clocksync::Clock &clock_;
+    semel::Master &master_;
+    semel::Directory &directory_;
+
+    TxnTable txns_;
+    KeyStateTable keys_;
+    /** Keys whose DRAM state is initialized. */
+    std::unordered_map<Key, bool> keyStateReady_;
+
+    /** Backup-side log of replicated transaction records. */
+    std::vector<ReplicateTxnRecord> txnLog_;
+
+    Time leaseUntil_ = 0;       ///< primary: lease expiry (local clock)
+    Time maxLeaseGranted_ = 0;  ///< backup: newest lease it granted
+    bool recovering_ = false;
+    bool started_ = false;
+};
+
+} // namespace milana
+
+#endif // MILANA_SERVER_HH

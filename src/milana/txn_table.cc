@@ -1,0 +1,55 @@
+#include "milana/txn_table.hh"
+
+#include "common/logging.hh"
+
+namespace milana {
+
+void
+TxnTable::insert(TxnEntry entry)
+{
+    entries_[entry.txn] = std::move(entry);
+}
+
+TxnEntry *
+TxnTable::find(const TxnId &txn)
+{
+    auto it = entries_.find(txn);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const TxnEntry *
+TxnTable::find(const TxnId &txn) const
+{
+    auto it = entries_.find(txn);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+TxnTable::resolve(const TxnId &txn, TxnStatus outcome)
+{
+    entries_.erase(txn);
+    outcomes_[txn] = outcome;
+}
+
+TxnStatus
+TxnTable::statusOf(const TxnId &txn) const
+{
+    if (const auto *entry = find(txn))
+        return entry->status;
+    auto it = outcomes_.find(txn);
+    return it == outcomes_.end() ? TxnStatus::Unknown : it->second;
+}
+
+std::vector<TxnId>
+TxnTable::preparedBefore(Time deadline) const
+{
+    std::vector<TxnId> stale;
+    for (const auto &[id, entry] : entries_) {
+        if (entry.status == TxnStatus::Prepared &&
+            entry.preparedAt < deadline)
+            stale.push_back(id);
+    }
+    return stale;
+}
+
+} // namespace milana

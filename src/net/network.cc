@@ -1,0 +1,57 @@
+#include "net/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace net {
+
+Network::Network(sim::Simulator &sim, const NetConfig &config,
+                 common::Rng rng)
+    : sim_(sim), config_(config), rng_(rng)
+{
+}
+
+Duration
+Network::sampleDelay()
+{
+    const double d = rng_.nextGaussian(
+        static_cast<double>(config_.oneWayMean),
+        static_cast<double>(config_.oneWaySigma));
+    return std::max(config_.minLatency,
+                    static_cast<Duration>(std::llround(d)));
+}
+
+void
+Network::setNodeDown(NodeId node, bool down)
+{
+    if (down_.size() <= node)
+        down_.resize(node + 1, false);
+    down_[node] = down;
+}
+
+bool
+Network::nodeDown(NodeId node) const
+{
+    return node < down_.size() && down_[node];
+}
+
+void
+Network::setLinkBroken(NodeId a, NodeId b, bool broken)
+{
+    const auto link = std::minmax(a, b);
+    if (broken)
+        brokenLinks_.insert({link.first, link.second});
+    else
+        brokenLinks_.erase({link.first, link.second});
+}
+
+bool
+Network::deliverable(NodeId from, NodeId to) const
+{
+    if (nodeDown(from) || nodeDown(to))
+        return false;
+    const auto link = std::minmax(from, to);
+    return !brokenLinks_.count({link.first, link.second});
+}
+
+} // namespace net

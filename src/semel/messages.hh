@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Wire messages of the SEMEL storage protocol and the MILANA
+ * transaction protocol. Plain structs: serialization is immaterial in
+ * a single-process simulation, but keeping explicit message types
+ * documents exactly what crosses the network (and therefore what each
+ * round trip costs).
+ */
+
+#ifndef SEMEL_MESSAGES_HH
+#define SEMEL_MESSAGES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "ftl/kv_backend.hh"
+
+namespace semel {
+
+using common::ClientId;
+using common::Key;
+using common::ShardId;
+using common::Time;
+using common::Value;
+using common::Version;
+
+// ------------------------------------------------------------- SEMEL
+
+struct GetRequest
+{
+    Key key = 0;
+    /** Read the youngest version with stamp <= at. */
+    Version at;
+};
+
+struct GetResponse
+{
+    bool found = false;
+    /** Server temporarily cannot serve (lease gap / recovery): retry. */
+    bool unavailable = false;
+    Version version;
+    Value value;
+    /**
+     * MILANA extension (section 4.3): true if the key had a prepared
+     * version with timestamp <= the request's `at` when served. A
+     * read-only transaction whose reads all come back with this flag
+     * false commits locally, with no further messages.
+     */
+    bool preparedLeqAt = false;
+};
+
+struct PutRequest
+{
+    Key key = 0;
+    Value value;
+    Version version;
+};
+
+enum class PutResult : std::uint8_t
+{
+    Ok,
+    /** Version older than the stored one: rejected (at-most-once). */
+    StaleRejected,
+    Failed,
+};
+
+struct PutResponse
+{
+    PutResult result = PutResult::Failed;
+};
+
+/** Primary -> backup: one timestamped write (unordered replication). */
+struct ReplicateWrite
+{
+    Key key = 0;
+    Value value;
+    Version version;
+};
+
+// ------------------------------------------------------------ MILANA
+
+/** One read observed by a transaction (for validation). */
+struct ReadSetEntry
+{
+    Key key = 0;
+    /** The version the transaction read. */
+    Version observed;
+};
+
+/** One buffered write of a transaction. */
+struct WriteSetEntry
+{
+    Key key = 0;
+    Value value;
+};
+
+/** Globally unique transaction id. */
+struct TxnId
+{
+    ClientId client = 0;
+    std::uint64_t serial = 0;
+
+    auto operator<=>(const TxnId &) const = default;
+};
+
+enum class TxnDecision : std::uint8_t
+{
+    Unknown,
+    Commit,
+    Abort,
+};
+
+/** Client -> participant primary: phase 1 of 2PC. */
+struct PrepareRequest
+{
+    TxnId txn;
+    Version commitVersion;
+    /** The transaction's begin timestamp (for read validation). */
+    Version beginVersion;
+    /** Keys of this shard read by the transaction. */
+    std::vector<ReadSetEntry> readSet;
+    /** Writes of this shard (values pushed at prepare, not before). */
+    std::vector<WriteSetEntry> writeSet;
+    /** All other participant shards, for recovery (section 4.5). */
+    std::vector<ShardId> participants;
+};
+
+enum class Vote : std::uint8_t
+{
+    Commit,
+    Abort,
+};
+
+struct PrepareResponse
+{
+    Vote vote = Vote::Abort;
+};
+
+/** Client -> participant primary: phase 2 outcome notification. */
+struct DecisionRequest
+{
+    TxnId txn;
+    TxnDecision decision = TxnDecision::Unknown;
+};
+
+struct DecisionResponse
+{
+    bool ok = false;
+};
+
+/**
+ * Primary -> backup: replicate a transaction-table update. Carries
+ * the full prepare record (status PREPARED) or the final outcome
+ * (COMMITTED/ABORTED). Backups apply these in any order (Figure 5);
+ * a new primary reconstructs order during recovery.
+ */
+enum class TxnRecordKind : std::uint8_t
+{
+    Prepared,
+    Committed,
+    Aborted,
+};
+
+struct ReplicateTxnRecord
+{
+    TxnRecordKind kind = TxnRecordKind::Prepared;
+    TxnId txn;
+    Version commitVersion;
+    std::vector<WriteSetEntry> writeSet;
+    std::vector<ShardId> participants;
+};
+
+/** Participant -> participant: CTP status query (section 4.5). */
+struct TxnStatusRequest
+{
+    TxnId txn;
+};
+
+enum class TxnStatus : std::uint8_t
+{
+    Unknown, ///< never saw a prepare for it
+    Prepared,
+    Committed,
+    Aborted,
+};
+
+struct TxnStatusResponse
+{
+    TxnStatus status = TxnStatus::Unknown;
+};
+
+} // namespace semel
+
+#endif // SEMEL_MESSAGES_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * SEMEL storage server (paper section 3).
+ *
+ * A server is one replica of one shard. The primary services client
+ * gets and puts; writes are replicated to the backups with
+ * *inconsistent replication* (section 3.2): each backup applies and
+ * acknowledges a timestamped write as soon as it receives it —
+ * ordering is explicit in the version stamps, so no operation log or
+ * sequencing is needed — and the primary acknowledges the client once
+ * the write is locally durable and f of the 2f backups have
+ * acknowledged (majority of 2f+1 replicas).
+ *
+ * Linearizability (section 3.3): the primary rejects writes whose
+ * version stamp is not newer than the key's latest committed stamp
+ * (at-most-once), repeats its earlier response for exact duplicates
+ * (idempotence), and serves reads from the named snapshot version.
+ *
+ * Watermarks (section 3.1): clients periodically report the timestamp
+ * of their last acknowledged operation; once every expected client has
+ * reported, the minimum becomes the GC watermark handed to the
+ * backend.
+ */
+
+#ifndef SEMEL_SERVER_HH
+#define SEMEL_SERVER_HH
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "ftl/kv_backend.hh"
+#include "net/network.hh"
+#include "semel/messages.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace semel {
+
+using common::NodeId;
+
+class Server
+{
+  public:
+    struct Config
+    {
+        /** Backup acknowledgements required before a write commits
+         *  (f, out of 2f backups). */
+        std::uint32_t backupAcksNeeded = 1;
+        /** Number of clients that must report before the watermark
+         *  advances (0 disables watermark GC). */
+        std::uint32_t expectedClients = 0;
+        /** Request-processing CPU model: cores available to the
+         *  server process... */
+        std::uint32_t cpuCores = 8;
+        /** ...and CPU time consumed per request handled. Bounds the
+         *  server's request rate at cpuCores / requestCpuTime. */
+        common::Duration requestCpuTime = 100 * common::kMicrosecond;
+    };
+
+    Server(sim::Simulator &sim, net::Network &net, NodeId id,
+           ShardId shard, ftl::KvBackend &backend, const Config &config);
+    virtual ~Server() = default;
+
+    NodeId nodeId() const { return id_; }
+    ShardId shard() const { return shard_; }
+    ftl::KvBackend &backend() { return backend_; }
+
+    /** Wire the backup replicas this server replicates to (primary). */
+    void setBackups(std::vector<Server *> backups);
+    const std::vector<Server *> &backups() const { return backups_; }
+
+    // -------------------------------------------------- RPC handlers
+
+    /** Read the youngest version with stamp <= request.at. */
+    virtual sim::Task<GetResponse> handleGet(GetRequest request);
+
+    /** Timestamped write: validate freshness, persist, replicate. */
+    virtual sim::Task<PutResponse> handlePut(PutRequest request);
+
+    /** Delete all versions of a key (propagated like a write). */
+    sim::Task<PutResponse> handleDelete(Key key, Version version);
+
+    /** Backup side: apply one replicated write, in any order. */
+    sim::Task<bool> handleReplicateWrite(ReplicateWrite msg);
+
+    /** Client watermark report (one-way). */
+    void handleWatermarkReport(ClientId client, Time timestamp);
+
+    // ---------------------------------------------------- inspection
+
+    /** Latest committed version stamp of a key (zero if none). */
+    Version latestCommitted(Key key) const;
+
+    Time watermark() const { return watermark_; }
+
+    common::StatSet &stats() { return stats_; }
+
+  protected:
+    /** Charge one request's CPU cost (queueing on the core pool). */
+    sim::Task<void> chargeCpu();
+
+    /**
+     * Replicate a write to the backups and wait for the configured
+     * quorum of acknowledgements. Returns true on quorum.
+     */
+    sim::Task<bool> replicateToBackups(ReplicateWrite msg);
+
+    /** Record a key's newest committed stamp. */
+    void noteCommitted(Key key, Version version);
+
+    sim::Simulator &sim_;
+    net::Network &net_;
+    NodeId id_;
+    ShardId shard_;
+    ftl::KvBackend &backend_;
+    Config config_;
+    std::vector<Server *> backups_;
+
+    /** DRAM: newest committed stamp per key (at-most-once checks). */
+    std::unordered_map<Key, Version> latestWritten_;
+
+    /** Core pool for the request-processing cost model. */
+    std::unique_ptr<sim::Semaphore> cpu_;
+
+    /** Latest report per client; min over all = watermark. */
+    std::map<ClientId, Time> clientReports_;
+    Time watermark_ = 0;
+
+    common::StatSet stats_;
+};
+
+/** NodeId -> Server lookup used by clients and the cluster builder. */
+class Directory
+{
+  public:
+    void
+    add(Server *server)
+    {
+        servers_[server->nodeId()] = server;
+    }
+
+    Server *
+    at(NodeId id) const
+    {
+        auto it = servers_.find(id);
+        return it == servers_.end() ? nullptr : it->second;
+    }
+
+    const std::map<NodeId, Server *> &all() const { return servers_; }
+
+  private:
+    std::map<NodeId, Server *> servers_;
+};
+
+} // namespace semel
+
+#endif // SEMEL_SERVER_HH

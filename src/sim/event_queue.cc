@@ -1,0 +1,33 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace sim {
+
+void
+EventQueue::schedule(Time when, std::function<void()> fn)
+{
+    heap_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+Time
+EventQueue::nextTime() const
+{
+    if (heap_.empty())
+        PANIC("nextTime() on empty event queue");
+    return heap_.top().when;
+}
+
+Event
+EventQueue::pop()
+{
+    if (heap_.empty())
+        PANIC("pop() on empty event queue");
+    // priority_queue::top() returns const&; move via const_cast is the
+    // standard idiom to avoid copying the std::function.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    return ev;
+}
+
+} // namespace sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic time-ordered event queue.
+ *
+ * Events scheduled for the same instant fire in the order they were
+ * scheduled (FIFO tie-break via a monotone sequence number), so a run
+ * is fully reproducible regardless of library heap implementation
+ * details.
+ */
+
+#ifndef SIM_EVENT_QUEUE_HH
+#define SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sim {
+
+using common::Duration;
+using common::Time;
+
+/** A scheduled callback. */
+struct Event
+{
+    Time when = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+};
+
+class EventQueue
+{
+  public:
+    /** Schedule @p fn to run at absolute time @p when. */
+    void schedule(Time when, std::function<void()> fn);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event. Queue must be non-empty. */
+    Time nextTime() const;
+
+    /** Remove and return the earliest pending event. */
+    Event pop();
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace sim
+
+#endif // SIM_EVENT_QUEUE_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * One-shot futures and promises for cross-coroutine completion.
+ *
+ * A Promise<T> is held by the producer (e.g. an RPC transport); any
+ * number of consumers may co_await the matching Future<T>. Waiters are
+ * resumed as zero-delay events on the simulator, never inline, so a
+ * producer's stack cannot re-enter consumer code.
+ *
+ * Future<T>::withTimeout(d) races the value against a timer and yields
+ * std::optional<T> — the building block for RPC timeouts, 2PC decision
+ * timeouts, and the cooperative termination protocol.
+ */
+
+#ifndef SIM_FUTURE_HH
+#define SIM_FUTURE_HH
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+
+namespace sim {
+
+namespace detail {
+
+template <typename T>
+struct FutureState
+{
+    explicit FutureState(Simulator &s) : sim(&s) {}
+
+    Simulator *sim;
+    std::optional<T> value;
+    std::vector<std::function<void()>> callbacks;
+
+    bool resolved() const { return value.has_value(); }
+
+    void
+    resolve(T v)
+    {
+        if (resolved())
+            PANIC("promise resolved twice");
+        value = std::move(v);
+        auto cbs = std::move(callbacks);
+        callbacks.clear();
+        for (auto &cb : cbs)
+            sim->schedule(0, std::move(cb));
+    }
+};
+
+} // namespace detail
+
+template <typename T>
+class Future;
+
+/** Producer side of a one-shot future. Copyable (shared state). */
+template <typename T>
+class Promise
+{
+  public:
+    explicit Promise(Simulator &sim)
+        : state_(std::make_shared<detail::FutureState<T>>(sim))
+    {
+    }
+
+    /** Fulfil the promise; resumes all waiters as new events. */
+    void set(T value) { state_->resolve(std::move(value)); }
+
+    bool resolved() const { return state_->resolved(); }
+
+    Future<T> future() const;
+
+  private:
+    std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/** Consumer side. Copyable; all copies see the same completion. */
+template <typename T>
+class Future
+{
+  public:
+    Future() = default;
+
+    explicit Future(std::shared_ptr<detail::FutureState<T>> state)
+        : state_(std::move(state))
+    {
+    }
+
+    bool valid() const { return state_ != nullptr; }
+    bool ready() const { return state_ && state_->resolved(); }
+
+    /** The resolved value; only valid when ready(). */
+    const T &
+    peek() const
+    {
+        if (!ready())
+            PANIC("peek() on unresolved future");
+        return *state_->value;
+    }
+
+    /** co_await yields a copy of the value once resolved. */
+    auto
+    operator co_await() const
+    {
+        struct Awaiter
+        {
+            std::shared_ptr<detail::FutureState<T>> state;
+
+            bool await_ready() const noexcept { return state->resolved(); }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                state->callbacks.push_back([h] { h.resume(); });
+            }
+
+            T await_resume() { return *state->value; }
+        };
+        if (!state_)
+            PANIC("co_await on invalid future");
+        return Awaiter{state_};
+    }
+
+    /**
+     * Awaitable that yields std::optional<T>: the value if it arrives
+     * within @p timeout, std::nullopt otherwise.
+     */
+    auto
+    withTimeout(Duration timeout) const
+    {
+        struct Awaiter
+        {
+            std::shared_ptr<detail::FutureState<T>> state;
+            Duration timeout;
+            // Guards against double resume when both the value and the
+            // timer fire; shared with the two callbacks.
+            std::shared_ptr<bool> settled = std::make_shared<bool>(false);
+
+            bool await_ready() const noexcept { return state->resolved(); }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                auto flag = settled;
+                state->callbacks.push_back([h, flag] {
+                    if (*flag)
+                        return;
+                    *flag = true;
+                    h.resume();
+                });
+                state->sim->schedule(timeout, [h, flag] {
+                    if (*flag)
+                        return;
+                    *flag = true;
+                    h.resume();
+                });
+            }
+
+            std::optional<T>
+            await_resume()
+            {
+                if (state->resolved())
+                    return *state->value;
+                return std::nullopt;
+            }
+        };
+        if (!state_)
+            PANIC("withTimeout() on invalid future");
+        return Awaiter{state_, timeout};
+    }
+
+  private:
+    std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <typename T>
+Future<T>
+Promise<T>::future() const
+{
+    return Future<T>(state_);
+}
+
+/** Awaitable that suspends for @p d of virtual time. */
+inline auto
+sleepFor(Simulator &sim, Duration d)
+{
+    struct Awaiter
+    {
+        Simulator &sim;
+        Duration d;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sim.schedule(d, [h] { h.resume(); });
+        }
+
+        void await_resume() const noexcept {}
+    };
+    if (d < 0)
+        PANIC("sleepFor negative duration");
+    return Awaiter{sim, d};
+}
+
+/** Awaitable that reschedules the coroutine as a fresh event "now". */
+inline auto
+yieldNow(Simulator &sim)
+{
+    return sleepFor(sim, 0);
+}
+
+} // namespace sim
+
+#endif // SIM_FUTURE_HH

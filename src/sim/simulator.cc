@@ -1,0 +1,64 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace sim {
+
+void
+Simulator::schedule(Duration delay, std::function<void()> fn)
+{
+    if (delay < 0)
+        PANIC("negative event delay " << delay);
+    queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::scheduleAt(Time when, std::function<void()> fn)
+{
+    if (when < now_)
+        PANIC("event scheduled in the past: " << when << " < " << now_);
+    queue_.schedule(when, std::move(fn));
+}
+
+std::uint64_t
+Simulator::runLoop(Time limit, bool bounded)
+{
+    std::uint64_t processed = 0;
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_) {
+        if (bounded && queue_.nextTime() > limit)
+            break;
+        Event ev = queue_.pop();
+        now_ = ev.when;
+        ev.fn();
+        ++processed;
+    }
+    if (bounded && now_ < limit)
+        now_ = limit;
+    return processed;
+}
+
+std::uint64_t
+Simulator::run()
+{
+    return runLoop(0, false);
+}
+
+std::uint64_t
+Simulator::runUntil(Time t)
+{
+    if (t < now_)
+        PANIC("runUntil into the past");
+    return runLoop(t, true);
+}
+
+std::uint64_t
+Simulator::runFor(Duration d, Duration grace)
+{
+    std::uint64_t n = runUntil(now_ + d);
+    requestStop();
+    n += runUntil(now_ + grace);
+    return n;
+}
+
+} // namespace sim

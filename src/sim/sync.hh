@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Cooperative synchronization primitives for simulation coroutines.
+ *
+ * These are not thread-safe and need not be: the simulator is
+ * single-threaded. They exist because coroutines interleave at await
+ * points, which creates the same logical races as preemptive threads.
+ *
+ *  - Semaphore: bounded resource (e.g. an SSD's hardware queue depth).
+ *  - Mutex:     exclusive section spanning awaits (e.g. GC vs. writes).
+ *  - Quorum:    wait until k of n expected arrivals (replication ACKs).
+ */
+
+#ifndef SIM_SYNC_HH
+#define SIM_SYNC_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+
+namespace sim {
+
+/** Counting semaphore with FIFO wakeup. */
+class Semaphore
+{
+  public:
+    Semaphore(Simulator &sim, std::int64_t initial)
+        : sim_(sim), count_(initial)
+    {
+    }
+
+    /** Awaitable acquire of one unit. */
+    auto
+    acquire()
+    {
+        struct Awaiter
+        {
+            Semaphore &sem;
+            bool fast = false;
+
+            bool
+            await_ready() noexcept
+            {
+                if (sem.count_ > 0 && sem.waiters_.empty()) {
+                    fast = true;
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sem.waiters_.push_back(h);
+            }
+
+            // The slow path's unit was already reserved by pump().
+            void
+            await_resume()
+            {
+                if (fast)
+                    --sem.count_;
+            }
+        };
+        return Awaiter{*this};
+    }
+
+    /** Release one unit, waking the oldest waiter (as a new event). */
+    void
+    release()
+    {
+        ++count_;
+        pump();
+    }
+
+    std::int64_t available() const { return count_; }
+    std::size_t waiting() const { return waiters_.size(); }
+
+  private:
+    void
+    pump()
+    {
+        while (count_ > 0 && !waiters_.empty()) {
+            auto h = waiters_.front();
+            waiters_.pop_front();
+            // Reserve the unit here so an acquire() racing in before
+            // the scheduled resume cannot steal it.
+            --count_;
+            sim_.schedule(0, [h] { h.resume(); });
+        }
+    }
+
+    friend struct AcquireAwaiter;
+
+    Simulator &sim_;
+    std::int64_t count_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/** Async mutex: exclusive ownership across awaits; FIFO handoff. */
+class Mutex
+{
+  public:
+    explicit Mutex(Simulator &sim) : sim_(sim) {}
+
+    auto
+    lock()
+    {
+        struct Awaiter
+        {
+            Mutex &mtx;
+
+            bool
+            await_ready() const noexcept
+            {
+                return !mtx.locked_ && mtx.waiters_.empty();
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                mtx.waiters_.push_back(h);
+            }
+
+            void await_resume() { mtx.locked_ = true; }
+        };
+        return Awaiter{*this};
+    }
+
+    void
+    unlock()
+    {
+        if (!locked_)
+            PANIC("unlock of unlocked mutex");
+        locked_ = false;
+        if (!waiters_.empty()) {
+            auto h = waiters_.front();
+            waiters_.pop_front();
+            locked_ = true; // hand off directly; awaiter re-asserts
+            sim_.schedule(0, [h] { h.resume(); });
+        }
+    }
+
+    bool locked() const { return locked_; }
+
+  private:
+    Simulator &sim_;
+    bool locked_ = false;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/** RAII guard for Mutex (use after co_await m.lock()). */
+class LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &m) : mtx_(&m) {}
+    ~LockGuard()
+    {
+        if (mtx_)
+            mtx_->unlock();
+    }
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+    LockGuard(LockGuard &&other) noexcept
+        : mtx_(std::exchange(other.mtx_, nullptr))
+    {
+    }
+
+  private:
+    Mutex *mtx_;
+};
+
+/**
+ * Quorum barrier: a coordinator awaits until at least @p needed of the
+ * expected arrivals have happened. Extra (late) arrivals are accepted
+ * and counted but wake nobody.
+ */
+class Quorum
+{
+  public:
+    Quorum(Simulator &sim, std::uint32_t needed)
+        : sim_(sim), needed_(needed)
+    {
+    }
+
+    void
+    arrive()
+    {
+        ++arrived_;
+        if (arrived_ == needed_ && waiter_) {
+            auto h = waiter_;
+            waiter_ = nullptr;
+            sim_.schedule(0, [h] { h.resume(); });
+        }
+    }
+
+    std::uint32_t arrived() const { return arrived_; }
+    bool satisfied() const { return arrived_ >= needed_; }
+
+    /** Awaitable: resumes once satisfied. Single waiter only. */
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            Quorum &q;
+
+            bool await_ready() const noexcept { return q.satisfied(); }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                if (q.waiter_)
+                    PANIC("Quorum supports a single waiter");
+                q.waiter_ = h;
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+  private:
+    Simulator &sim_;
+    std::uint32_t needed_;
+    std::uint32_t arrived_ = 0;
+    std::coroutine_handle<> waiter_ = nullptr;
+};
+
+} // namespace sim
+
+#endif // SIM_SYNC_HH

@@ -1,0 +1,320 @@
+#include "workload/cluster.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/future.hh"
+
+namespace workload {
+
+using common::kMicrosecond;
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Dram: return "DRAM";
+      case BackendKind::Mftl: return "MFTL";
+      case BackendKind::Vftl: return "VFTL";
+      case BackendKind::SingleVersion: return "SFTL";
+    }
+    return "?";
+}
+
+const char *
+clockName(ClockKind kind)
+{
+    switch (kind) {
+      case ClockKind::Perfect: return "perfect";
+      case ClockKind::PtpHw: return "PTP-hw";
+      case ClockKind::PtpSw: return "PTP";
+      case ClockKind::Ntp: return "NTP";
+      case ClockKind::Dtp: return "DTP";
+    }
+    return "?";
+}
+
+namespace {
+
+clocksync::SyncConfig
+syncConfigFor(ClockKind kind)
+{
+    switch (kind) {
+      case ClockKind::PtpHw: return clocksync::SyncConfig::ptpHardware();
+      case ClockKind::PtpSw: return clocksync::SyncConfig::ptpSoftware();
+      case ClockKind::Ntp: return clocksync::SyncConfig::ntp();
+      case ClockKind::Dtp: return clocksync::SyncConfig::dtp();
+      case ClockKind::Perfect: return clocksync::SyncConfig::perfect();
+    }
+    return clocksync::SyncConfig::perfect();
+}
+
+} // namespace
+
+Cluster::Cluster(const ClusterConfig &config)
+    : config_(config),
+      rng_(config.seed),
+      shardMap_(config.numShards),
+      master_(shardMap_)
+{
+    net_ = std::make_unique<net::Network>(sim_, config_.net, rng_.fork());
+
+    // Storage nodes: node id = shard * replicas + replica.
+    for (common::ShardId shard = 0; shard < config_.numShards; ++shard) {
+        std::vector<common::NodeId> replicas;
+        for (std::uint32_t r = 0; r < config_.replicasPerShard; ++r) {
+            buildStorageNode(shard, r);
+            replicas.push_back(servers_.back()->nodeId());
+        }
+        master_.setReplicas(shard, replicas);
+    }
+    // Wire primaries to their backups.
+    for (common::ShardId shard = 0; shard < config_.numShards; ++shard) {
+        auto &primary_server = primary(shard);
+        std::vector<semel::Server *> backups;
+        for (common::NodeId node : master_.backupsOf(shard))
+            backups.push_back(directory_.at(node));
+        primary_server.setBackups(std::move(backups));
+    }
+
+    // Client clocks.
+    if (config_.clocks != ClockKind::Perfect) {
+        ensemble_ = std::make_unique<clocksync::ClockEnsemble>(
+            sim_, config_.numClients, syncConfigFor(config_.clocks),
+            rng_);
+    }
+
+    centimanSystem_ =
+        milana::CentimanSystem(config_.centimanDisseminateEvery);
+
+    semel::Client::Config client_config;
+    milana::MilanaClient::TxnConfig txn_config;
+    txn_config.localValidation = config_.localValidation;
+    for (std::uint32_t i = 0; i < config_.numClients; ++i) {
+        const common::NodeId node = 1000 + i;
+        clocksync::Clock *clock = nullptr;
+        if (ensemble_ != nullptr) {
+            clock = &ensemble_->clock(i);
+        } else {
+            perfectClocks_.push_back(
+                std::make_unique<clocksync::PerfectClock>(sim_));
+            clock = perfectClocks_.back().get();
+        }
+        if (config_.centiman) {
+            clients_.push_back(std::make_unique<milana::CentimanClient>(
+                sim_, *net_, node, i + 1, *clock, master_, directory_,
+                client_config, txn_config, centimanSystem_));
+        } else {
+            clients_.push_back(std::make_unique<milana::MilanaClient>(
+                sim_, *net_, node, i + 1, *clock, master_, directory_,
+                client_config, txn_config));
+        }
+    }
+}
+
+Cluster::~Cluster() = default;
+
+void
+Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
+{
+    const common::NodeId node = shard * config_.replicasPerShard + replica;
+
+    // Size the device for this shard's share of the key space (with
+    // margin for hash imbalance), at the configured utilization.
+    const std::uint64_t shard_keys =
+        config_.numKeys / config_.numShards + config_.numKeys / 10 + 64;
+    const std::uint64_t shard_bytes =
+        shard_keys * config_.recordSize;
+
+    ftl::KvBackend *backend = nullptr;
+    switch (config_.backend) {
+      case BackendKind::Dram: {
+        devices_.push_back(nullptr);
+        sftls_.push_back(nullptr);
+        auto dram = std::make_unique<ftl::DramBackend>(sim_);
+        backend = dram.get();
+        backends_.push_back(std::move(dram));
+        break;
+      }
+      case BackendKind::Mftl: {
+        auto geo = flash::Geometry::scaledFor(shard_bytes,
+                                              config_.deviceUtilization);
+        geo.numChannels = config_.deviceChannels;
+        devices_.push_back(
+            std::make_unique<flash::SsdDevice>(sim_, geo));
+        sftls_.push_back(nullptr);
+        ftl::Mftl::Config cfg;
+        cfg.recordSize = config_.recordSize;
+        auto mftl = std::make_unique<ftl::Mftl>(sim_, *devices_.back(),
+                                                cfg);
+        backend = mftl.get();
+        backends_.push_back(std::move(mftl));
+        break;
+      }
+      case BackendKind::Vftl: {
+        auto geo = flash::Geometry::scaledFor(shard_bytes,
+                                              config_.deviceUtilization);
+        geo.numChannels = config_.deviceChannels;
+        devices_.push_back(
+            std::make_unique<flash::SsdDevice>(sim_, geo));
+        sftls_.push_back(std::make_unique<ftl::Sftl>(
+            sim_, *devices_.back(), ftl::Sftl::Config{}));
+        ftl::Vftl::Config cfg;
+        cfg.recordSize = config_.recordSize;
+        auto vftl = std::make_unique<ftl::Vftl>(sim_, *sftls_.back(),
+                                                cfg);
+        backend = vftl.get();
+        backends_.push_back(std::move(vftl));
+        break;
+      }
+      case BackendKind::SingleVersion: {
+        // Slot mapping covers the whole key range.
+        auto geo = flash::Geometry::scaledFor(
+            config_.numKeys * config_.recordSize, 0.5);
+        geo.numChannels = config_.deviceChannels;
+        devices_.push_back(
+            std::make_unique<flash::SsdDevice>(sim_, geo));
+        sftls_.push_back(std::make_unique<ftl::Sftl>(
+            sim_, *devices_.back(), ftl::Sftl::Config{}));
+        ftl::SingleVersionKv::Config cfg;
+        cfg.recordSize = config_.recordSize;
+        cfg.capacityKeys = config_.numKeys;
+        auto kv = std::make_unique<ftl::SingleVersionKv>(
+            sim_, *sftls_.back(), cfg);
+        backend = kv.get();
+        backends_.push_back(std::move(kv));
+        break;
+      }
+    }
+
+    serverClocks_.push_back(
+        std::make_unique<clocksync::PerfectClock>(sim_));
+
+    semel::Server::Config server_config;
+    server_config.backupAcksNeeded =
+        config_.replicasPerShard > 1
+            ? (config_.replicasPerShard - 1) / 2
+            : 0;
+    if (config_.replicasPerShard > 1 &&
+        server_config.backupAcksNeeded == 0)
+        server_config.backupAcksNeeded = 1; // 2 replicas: wait the one
+    server_config.expectedClients = config_.numClients;
+
+    milana::MilanaServer::MilanaConfig milana_config;
+    milana_config.enableLeases = config_.replicasPerShard > 1;
+
+    servers_.push_back(std::make_unique<milana::MilanaServer>(
+        sim_, *net_, node, shard, *backend, *serverClocks_.back(),
+        server_config, milana_config, master_, directory_));
+    directory_.add(servers_.back().get());
+}
+
+milana::MilanaServer &
+Cluster::primary(common::ShardId shard)
+{
+    auto *server = dynamic_cast<milana::MilanaServer *>(
+        directory_.at(master_.primaryOf(shard)));
+    if (server == nullptr)
+        PANIC("shard " << shard << " has no primary");
+    return *server;
+}
+
+void
+Cluster::populate()
+{
+    const std::uint32_t workers = 64;
+    auto remaining = std::make_shared<std::uint32_t>(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+        sim::spawn([](Cluster *self, std::uint32_t worker,
+                      std::uint32_t stride,
+                      std::shared_ptr<std::uint32_t> remaining)
+                       -> sim::Task<void> {
+            const common::Version load_version{1, 0};
+            for (common::Key key = worker; key < self->config_.numKeys;
+                 key += stride) {
+                const auto shard =
+                    self->master_.shardMap().shardOf(key);
+                for (common::NodeId node :
+                     self->master_.replicasOf(shard)) {
+                    auto *server = dynamic_cast<milana::MilanaServer *>(
+                        self->directory_.at(node));
+                    co_await server->loadKey(key, "init", load_version);
+                }
+            }
+            --*remaining;
+        }(this, w, workers, remaining));
+    }
+    sim_.run();
+    if (*remaining != 0)
+        PANIC("population did not finish");
+}
+
+void
+Cluster::start()
+{
+    for (auto &backend : backends_) {
+        if (auto *mftl = dynamic_cast<ftl::Mftl *>(backend.get()))
+            mftl->start();
+        else if (auto *vftl = dynamic_cast<ftl::Vftl *>(backend.get()))
+            vftl->start();
+    }
+    for (auto &server : servers_)
+        server->start();
+    if (ensemble_ != nullptr)
+        ensemble_->start();
+    for (auto &client : clients_)
+        client->start();
+}
+
+common::StatSet
+Cluster::clientStats() const
+{
+    common::StatSet merged;
+    for (const auto &client : clients_)
+        merged.merge(client->stats());
+    return merged;
+}
+
+common::StatSet
+Cluster::serverStats() const
+{
+    common::StatSet merged;
+    for (const auto &server : servers_)
+        merged.merge(server->stats());
+    return merged;
+}
+
+void
+Cluster::resetStats()
+{
+    for (auto &client : clients_)
+        client->stats().reset();
+    for (auto &server : servers_)
+        server->stats().reset();
+}
+
+double
+Cluster::avgClientSkew() const
+{
+    return ensemble_ == nullptr ? 0.0 : ensemble_->avgPairwiseSkew();
+}
+
+void
+Cluster::crashServer(common::NodeId node)
+{
+    net_->setNodeDown(node, true);
+}
+
+sim::Task<void>
+Cluster::failover(common::ShardId shard, common::NodeId new_primary)
+{
+    master_.failover(shard, new_primary);
+    auto &promoted = primary(shard);
+    std::vector<semel::Server *> backups;
+    for (common::NodeId node : master_.backupsOf(shard))
+        backups.push_back(directory_.at(node));
+    promoted.setBackups(std::move(backups));
+    co_await promoted.recoverAsPrimary();
+}
+
+} // namespace workload

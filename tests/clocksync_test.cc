@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for clock models and synchronization: drift behaviour,
+ * monotonicity, correction math, and that the PTP/NTP presets realize
+ * the average pairwise skews the paper reports (1.51 ms NTP, 53.2 us
+ * PTP software, <1 us PTP hardware, ~150 ns DTP).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clocksync/clock.hh"
+#include "clocksync/sync.hh"
+#include "sim/simulator.hh"
+
+using namespace clocksync;
+using common::kMicrosecond;
+using common::kMillisecond;
+using common::kNanosecond;
+using common::kSecond;
+using common::Rng;
+
+TEST(PerfectClock, TracksTrueTime)
+{
+    sim::Simulator s;
+    PerfectClock c(s);
+    EXPECT_EQ(c.localNow(), 0);
+    s.schedule(5 * kSecond, [] {});
+    s.run();
+    EXPECT_EQ(c.localNow(), 5 * kSecond);
+    EXPECT_EQ(c.currentOffset(), 0);
+}
+
+TEST(DriftClock, DriftAccumulatesLinearly)
+{
+    sim::Simulator s;
+    Rng rng(1);
+    DriftClock::Params p;
+    p.driftPpmSigma = 10.0;
+    p.initialOffsetSigma = 0;
+    DriftClock c(s, p, rng);
+    const double ppm = c.driftPpm();
+    ASSERT_NE(ppm, 0.0);
+
+    s.schedule(10 * kSecond, [] {});
+    s.run();
+    const double expected = ppm * 1e-6 * 10 * kSecond;
+    EXPECT_NEAR(static_cast<double>(c.currentOffset()), expected,
+                std::abs(expected) * 0.01 + 2);
+}
+
+TEST(DriftClock, CorrectionCancelsMeasuredOffset)
+{
+    sim::Simulator s;
+    Rng rng(2);
+    DriftClock::Params p;
+    p.driftPpmSigma = 0.0; // isolate the correction
+    p.initialOffsetSigma = kMillisecond;
+    DriftClock c(s, p, rng);
+    const auto before = c.currentOffset();
+    ASSERT_NE(before, 0);
+    c.applyCorrection(before, 1.0);
+    EXPECT_NEAR(static_cast<double>(c.currentOffset()), 0.0, 1.5);
+}
+
+TEST(DriftClock, PartialGainCorrectsFraction)
+{
+    sim::Simulator s;
+    Rng rng(3);
+    DriftClock::Params p;
+    p.driftPpmSigma = 0.0;
+    p.initialOffsetSigma = kMillisecond;
+    DriftClock c(s, p, rng);
+    const auto before = c.currentOffset();
+    c.applyCorrection(before, 0.5);
+    EXPECT_NEAR(static_cast<double>(c.currentOffset()),
+                static_cast<double>(before) * 0.5,
+                std::abs(static_cast<double>(before)) * 0.01 + 2);
+}
+
+TEST(DriftClock, MonotoneAcrossBackwardStep)
+{
+    sim::Simulator s;
+    Rng rng(4);
+    DriftClock::Params p;
+    p.driftPpmSigma = 0.0;
+    p.initialOffsetSigma = 10 * kMillisecond;
+    DriftClock c(s, p, rng);
+    const auto t_before = c.localNow();
+    // Step the clock backwards by correcting away a large positive
+    // offset (or force one).
+    c.applyCorrection(c.currentOffset() + 5 * kMillisecond, 1.0);
+    const auto t_after = c.localNow();
+    EXPECT_GE(t_after, t_before);
+}
+
+TEST(SyncAgent, ExchangeDisciplinesClock)
+{
+    sim::Simulator s;
+    Rng rng(5);
+    DriftClock::Params p;
+    p.driftPpmSigma = 0.0;
+    p.initialOffsetSigma = 10 * kMillisecond;
+    DriftClock c(s, p, rng);
+    const auto initial = std::abs(c.currentOffset());
+    ASSERT_GT(initial, kMillisecond);
+
+    SyncAgent agent(s, c, SyncConfig::ptpSoftware(), Rng(99));
+    agent.performExchange();
+    // After one full-gain exchange, the offset should be down to the
+    // measurement-noise level (~tens of us), far below the initial ms.
+    EXPECT_LT(std::abs(c.currentOffset()), 500 * kMicrosecond);
+}
+
+TEST(SyncAgent, PerfectConfigExact)
+{
+    sim::Simulator s;
+    Rng rng(6);
+    DriftClock::Params p;
+    p.driftPpmSigma = 0.0;
+    p.initialOffsetSigma = 10 * kMillisecond;
+    DriftClock c(s, p, rng);
+    SyncAgent agent(s, c, SyncConfig::perfect(), Rng(100));
+    agent.performExchange();
+    EXPECT_NEAR(static_cast<double>(c.currentOffset()), 0.0, 2.0);
+}
+
+namespace {
+
+/** Run an ensemble for a while and return its average pairwise skew. */
+double
+measureSkew(const SyncConfig &cfg, std::size_t nodes, int seconds,
+            std::uint64_t seed)
+{
+    sim::Simulator s;
+    Rng rng(seed);
+    ClockEnsemble ensemble(s, nodes, cfg, rng);
+    ensemble.start();
+    s.runFor(seconds * kSecond);
+    return ensemble.avgPairwiseSkew();
+}
+
+} // namespace
+
+TEST(ClockEnsemble, PtpSoftwareSkewMatchesPaper)
+{
+    // Paper section 5.2: software-timestamped PTP average skew 53.2 us.
+    const double skew = measureSkew(SyncConfig::ptpSoftware(), 5, 60, 42);
+    EXPECT_GT(skew, 30.0 * kMicrosecond);
+    EXPECT_LT(skew, 80.0 * kMicrosecond);
+}
+
+TEST(ClockEnsemble, NtpSkewMatchesPaper)
+{
+    // Paper section 5.2: NTP average skew 1.51 ms.
+    const double skew = measureSkew(SyncConfig::ntp(), 5, 120, 43);
+    EXPECT_GT(skew, 1.0 * kMillisecond);
+    EXPECT_LT(skew, 2.2 * kMillisecond);
+}
+
+TEST(ClockEnsemble, PtpHardwareSubMicrosecond)
+{
+    // Paper section 2.1: PTP achieves < 1 us within a LAN.
+    const double skew = measureSkew(SyncConfig::ptpHardware(), 5, 60, 44);
+    EXPECT_LT(skew, 1.5 * kMicrosecond);
+    EXPECT_GT(skew, 0.0);
+}
+
+TEST(ClockEnsemble, DtpNanosecondScale)
+{
+    // [37]: ~150 ns across a data center.
+    const double skew = measureSkew(SyncConfig::dtp(), 5, 60, 45);
+    EXPECT_LT(skew, 400.0 * kNanosecond);
+}
+
+TEST(ClockEnsemble, SkewOrderingNtpWorstDtpBest)
+{
+    const double ntp = measureSkew(SyncConfig::ntp(), 4, 60, 46);
+    const double ptp_sw = measureSkew(SyncConfig::ptpSoftware(), 4, 60, 46);
+    const double ptp_hw = measureSkew(SyncConfig::ptpHardware(), 4, 60, 46);
+    const double dtp = measureSkew(SyncConfig::dtp(), 4, 60, 46);
+    EXPECT_GT(ntp, ptp_sw);
+    EXPECT_GT(ptp_sw, ptp_hw);
+    EXPECT_GT(ptp_hw, dtp);
+}
+
+TEST(ClockEnsemble, MaxSkewBoundedUnderPtp)
+{
+    sim::Simulator s;
+    Rng rng(47);
+    ClockEnsemble ensemble(s, 5, SyncConfig::ptpSoftware(), rng);
+    ensemble.start();
+    s.runFor(60 * kSecond);
+    // 5-sigma-ish bound: software PTP skew should stay well under 1 ms.
+    EXPECT_LT(ensemble.maxPairwiseSkew(), kMillisecond);
+}

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the SSD device model: flash semantics (erase-before-write,
+ * in-order programming), latencies, queue-depth limits, read pins, and
+ * wear counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/ssd.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+using namespace flash;
+using common::kMicrosecond;
+using common::kMillisecond;
+
+namespace {
+
+Geometry
+tinyGeometry()
+{
+    Geometry g;
+    g.numBlocks = 8;
+    g.pagesPerBlock = 4;
+    g.numChannels = 2;
+    g.queueDepth = 4;
+    return g;
+}
+
+PageData
+onePage(std::uint64_t key)
+{
+    PageData d;
+    Record r;
+    r.key = key;
+    r.value = "v";
+    d.records.push_back(r);
+    return d;
+}
+
+} // namespace
+
+TEST(Ssd, ProgramThenReadRoundTrips)
+{
+    sim::Simulator s;
+    SsdDevice ssd(s, tinyGeometry());
+    bool ok = false;
+    auto t = [&]() -> sim::Task<void> {
+        co_await ssd.programPage({0, 0}, onePage(42));
+        const PageData *p = co_await ssd.readPage({0, 0});
+        ok = p->records.size() == 1 && p->records[0].key == 42;
+    };
+    sim::spawn(t());
+    s.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(Ssd, LatenciesMatchGeometry)
+{
+    sim::Simulator s;
+    auto g = tinyGeometry();
+    SsdDevice ssd(s, g);
+    common::Time wrote = 0, read = 0, erased = 0;
+    auto t = [&]() -> sim::Task<void> {
+        co_await ssd.programPage({0, 0}, onePage(1));
+        wrote = s.now();
+        (void)co_await ssd.readPage({0, 0});
+        read = s.now();
+        co_await ssd.eraseBlock(0);
+        erased = s.now();
+    };
+    sim::spawn(t());
+    s.run();
+    EXPECT_EQ(wrote, g.writeLatency);
+    EXPECT_EQ(read, wrote + g.readLatency);
+    EXPECT_EQ(erased, read + g.eraseLatency);
+}
+
+TEST(SsdDeath, OutOfOrderProgramPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto run = [] {
+        sim::Simulator s;
+        SsdDevice ssd(s, tinyGeometry());
+        auto t = [&]() -> sim::Task<void> {
+            co_await ssd.programPage({0, 1}, onePage(1)); // page 0 skipped
+        };
+        sim::spawn(t());
+        s.run();
+    };
+    EXPECT_DEATH(run(), "out-of-order");
+}
+
+TEST(SsdDeath, RewriteWithoutErasePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto run = [] {
+        sim::Simulator s;
+        SsdDevice ssd(s, tinyGeometry());
+        auto t = [&]() -> sim::Task<void> {
+            co_await ssd.programPage({0, 0}, onePage(1));
+            co_await ssd.programPage({0, 0}, onePage(2));
+        };
+        sim::spawn(t());
+        s.run();
+    };
+    EXPECT_DEATH(run(), "non-erased|out-of-order");
+}
+
+TEST(SsdDeath, ReadUnprogrammedPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto run = [] {
+        sim::Simulator s;
+        SsdDevice ssd(s, tinyGeometry());
+        auto t = [&]() -> sim::Task<void> {
+            (void)co_await ssd.readPage({1, 0});
+        };
+        sim::spawn(t());
+        s.run();
+    };
+    EXPECT_DEATH(run(), "unprogrammed");
+}
+
+TEST(Ssd, EraseResetsBlockForReuse)
+{
+    sim::Simulator s;
+    SsdDevice ssd(s, tinyGeometry());
+    bool ok = false;
+    auto t = [&]() -> sim::Task<void> {
+        co_await ssd.programPage({2, 0}, onePage(1));
+        co_await ssd.eraseBlock(2);
+        co_await ssd.programPage({2, 0}, onePage(9));
+        const PageData *p = co_await ssd.readPage({2, 0});
+        ok = p->records[0].key == 9;
+    };
+    sim::spawn(t());
+    s.run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(ssd.eraseCount(2), 1u);
+}
+
+TEST(Ssd, ChannelsServiceInParallel)
+{
+    sim::Simulator s;
+    auto g = tinyGeometry(); // 2 channels
+    SsdDevice ssd(s, g);
+    // Blocks 0 and 1 are on different channels; their programs overlap.
+    int done = 0;
+    auto t = [&](std::uint32_t block) -> sim::Task<void> {
+        co_await ssd.programPage({block, 0}, onePage(block));
+        ++done;
+    };
+    sim::spawn(t(0));
+    sim::spawn(t(1));
+    s.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(s.now(), g.writeLatency); // parallel, not serialized
+}
+
+TEST(Ssd, SameChannelSerializes)
+{
+    sim::Simulator s;
+    auto g = tinyGeometry(); // blocks 0 and 2 share channel 0
+    SsdDevice ssd(s, g);
+    auto t = [&](std::uint32_t block) -> sim::Task<void> {
+        co_await ssd.programPage({block, 0}, onePage(block));
+    };
+    sim::spawn(t(0));
+    sim::spawn(t(2));
+    s.run();
+    EXPECT_EQ(s.now(), 2 * g.writeLatency);
+}
+
+TEST(Ssd, QueueDepthLimitsAdmission)
+{
+    sim::Simulator s;
+    Geometry g = tinyGeometry();
+    g.numChannels = 8;
+    g.numBlocks = 8;
+    g.queueDepth = 2; // only 2 ops in flight despite 8 channels
+    SsdDevice ssd(s, g);
+    auto t = [&](std::uint32_t block) -> sim::Task<void> {
+        co_await ssd.programPage({block, 0}, onePage(block));
+    };
+    for (std::uint32_t b = 0; b < 8; ++b)
+        sim::spawn(t(b));
+    s.run();
+    // 8 writes, 2 at a time -> 4 serial rounds.
+    EXPECT_EQ(s.now(), 4 * g.writeLatency);
+}
+
+TEST(Ssd, PinBlocksErase)
+{
+    sim::Simulator s;
+    SsdDevice ssd(s, tinyGeometry());
+    common::Time erase_done = 0;
+    auto writer = [&]() -> sim::Task<void> {
+        co_await ssd.programPage({3, 0}, onePage(7));
+    };
+    sim::spawn(writer());
+    s.run();
+
+    ssd.pinBlock(3);
+    auto eraser = [&]() -> sim::Task<void> {
+        co_await ssd.eraseBlock(3);
+        erase_done = s.now();
+    };
+    sim::spawn(eraser());
+    s.schedule(5 * kMillisecond, [&] { ssd.unpinBlock(3); });
+    s.run();
+    EXPECT_GE(erase_done, 5 * kMillisecond);
+}
+
+TEST(Ssd, WearSpreadTracksEraseImbalance)
+{
+    sim::Simulator s;
+    SsdDevice ssd(s, tinyGeometry());
+    auto t = [&]() -> sim::Task<void> {
+        co_await ssd.eraseBlock(0);
+        co_await ssd.eraseBlock(0);
+        co_await ssd.eraseBlock(1);
+    };
+    sim::spawn(t());
+    s.run();
+    EXPECT_EQ(ssd.eraseCount(0), 2u);
+    EXPECT_EQ(ssd.wearSpread(), 2u);
+}
+
+TEST(Ssd, StatsCountOps)
+{
+    sim::Simulator s;
+    SsdDevice ssd(s, tinyGeometry());
+    auto t = [&]() -> sim::Task<void> {
+        co_await ssd.programPage({0, 0}, onePage(1));
+        (void)co_await ssd.readPage({0, 0});
+        (void)co_await ssd.readPage({0, 0});
+        co_await ssd.eraseBlock(0);
+    };
+    sim::spawn(t());
+    s.run();
+    EXPECT_EQ(ssd.stats().counterValue("ssd.programs"), 1u);
+    EXPECT_EQ(ssd.stats().counterValue("ssd.reads"), 2u);
+    EXPECT_EQ(ssd.stats().counterValue("ssd.erases"), 1u);
+}
+
+TEST(Geometry, ScaledForTargetsUtilization)
+{
+    const auto g = Geometry::scaledFor(100 * 1024 * 1024, 0.5);
+    EXPECT_GE(g.capacityBytes(), 200ull * 1024 * 1024);
+    EXPECT_LT(g.capacityBytes(), 210ull * 1024 * 1024);
+}
+
+TEST(Geometry, PaperDefaults)
+{
+    const Geometry g;
+    EXPECT_EQ(g.pageSize, 4096u);
+    EXPECT_EQ(g.pagesPerBlock, 32u);
+    EXPECT_EQ(g.readLatency, 50 * kMicrosecond);
+    EXPECT_EQ(g.writeLatency, 100 * kMicrosecond);
+    EXPECT_EQ(g.eraseLatency, kMillisecond);
+    EXPECT_EQ(g.queueDepth, 128u);
+}

@@ -1,0 +1,752 @@
+/**
+ * @file
+ * Tests for the storage backends: MFTL, VFTL, SFTL/SingleVersionKv and
+ * DRAM. Cover round-trips, snapshot reads, packing behaviour,
+ * watermark pruning, garbage collection under space pressure,
+ * idempotent replays, and recovery scans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "flash/ssd.hh"
+#include "ftl/dram.hh"
+#include "ftl/mftl.hh"
+#include "ftl/sftl.hh"
+#include "ftl/vftl.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+using namespace ftl;
+using common::kMicrosecond;
+using common::kMillisecond;
+using common::kSecond;
+using common::Version;
+
+namespace {
+
+flash::Geometry
+smallGeometry(std::uint32_t blocks = 64)
+{
+    flash::Geometry g;
+    g.numBlocks = blocks;
+    g.pagesPerBlock = 8;
+    g.numChannels = 4;
+    g.queueDepth = 16;
+    return g;
+}
+
+/** Drive a coroutine to completion on a fresh simulator. */
+template <typename Fn>
+void
+runSim(sim::Simulator &s, Fn &&fn)
+{
+    sim::spawn(fn());
+    s.run();
+}
+
+Version
+v(common::Time ts, common::ClientId c = 1)
+{
+    return Version{ts, c};
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- MFTL
+
+struct MftlFixture
+{
+    sim::Simulator s;
+    flash::SsdDevice ssd;
+    Mftl mftl;
+
+    explicit MftlFixture(std::uint32_t blocks = 64,
+                         Mftl::Config cfg = Mftl::Config{})
+        : ssd(s, smallGeometry(blocks)), mftl(s, ssd, cfg)
+    {
+    }
+};
+
+TEST(Mftl, PutGetRoundTrip)
+{
+    MftlFixture f;
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        auto st = co_await f.mftl.put(7, "hello", v(100));
+        EXPECT_EQ(st, PutStatus::Ok);
+        got = co_await f.mftl.get(7, v(100));
+    });
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.value, "hello");
+    EXPECT_EQ(got.version, v(100));
+}
+
+TEST(Mftl, MissingKeyIsMiss)
+{
+    MftlFixture f;
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        got = co_await f.mftl.get(999, v(100));
+    });
+    EXPECT_FALSE(got.found);
+}
+
+TEST(Mftl, SnapshotReadsPickVersionAtOrBelow)
+{
+    MftlFixture f;
+    GetResult at150, at250, at99;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.mftl.put(1, "v100", v(100));
+        co_await f.mftl.put(1, "v200", v(200));
+        co_await f.mftl.put(1, "v300", v(300));
+        at150 = co_await f.mftl.get(1, v(150));
+        at250 = co_await f.mftl.get(1, v(250));
+        at99 = co_await f.mftl.get(1, v(99));
+    });
+    EXPECT_EQ(at150.value, "v100");
+    EXPECT_EQ(at250.value, "v200");
+    EXPECT_FALSE(at99.found); // older than the oldest version
+}
+
+TEST(Mftl, VersionsAccumulate)
+{
+    MftlFixture f;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (int i = 1; i <= 5; ++i)
+            co_await f.mftl.put(3, "x", v(i * 100));
+    });
+    EXPECT_EQ(f.mftl.versionCount(3), 5u);
+}
+
+TEST(Mftl, OutOfOrderInsertsKeepChainsSorted)
+{
+    MftlFixture f;
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.mftl.put(5, "late", v(300));
+        co_await f.mftl.put(5, "early", v(100)); // arrives late
+        got = co_await f.mftl.get(5, v(200));
+    });
+    EXPECT_EQ(got.value, "early");
+}
+
+TEST(Mftl, IdempotentReplayIgnored)
+{
+    MftlFixture f;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.mftl.put(4, "a", v(100));
+        co_await f.mftl.put(4, "a", v(100)); // replay, same stamp
+    });
+    EXPECT_EQ(f.mftl.versionCount(4), 1u);
+}
+
+TEST(Mftl, PackTimerBoundsPutLatency)
+{
+    // A lone put cannot fill a page; it must flush at the pack timeout.
+    Mftl::Config cfg;
+    cfg.packTimeout = kMillisecond;
+    MftlFixture f(64, cfg);
+    common::Time done = 0;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.mftl.put(1, "x", v(10));
+        done = f.s.now();
+    });
+    // pack wait (1 ms) + program (100 us).
+    EXPECT_GE(done, kMillisecond);
+    EXPECT_LE(done, kMillisecond + 300 * kMicrosecond);
+}
+
+TEST(Mftl, FullPageFlushesImmediately)
+{
+    // 8 puts of 512 B fill a 4 KB page; no pack wait for the batch.
+    MftlFixture f;
+    common::Time done = 0;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        std::vector<sim::Task<PutStatus>> noop;
+        for (int i = 0; i < 8; ++i)
+            sim::spawn([&, i]() -> sim::Task<void> {
+                (void)co_await f.mftl.put(static_cast<Key>(i), "x", v(10 + i));
+            }());
+        co_await sim::sleepFor(f.s, 150 * kMicrosecond);
+        done = f.s.now();
+        GetResult g0 = co_await f.mftl.get(0, v(1000));
+        EXPECT_TRUE(g0.found);
+    });
+    EXPECT_LT(done, kMillisecond); // did not wait for the pack timer
+}
+
+TEST(Mftl, EraseRemovesAllVersions)
+{
+    MftlFixture f;
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.mftl.put(9, "a", v(100));
+        co_await f.mftl.put(9, "b", v(200));
+        co_await f.mftl.erase(9);
+        got = co_await f.mftl.get(9, v(1000));
+    });
+    EXPECT_FALSE(got.found);
+    EXPECT_EQ(f.mftl.versionCount(9), 0u);
+}
+
+TEST(Mftl, WatermarkPrunesOldVersions)
+{
+    MftlFixture f;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (int i = 1; i <= 6; ++i)
+            co_await f.mftl.put(2, "x", v(i * 100));
+        // Watermark at 450: keep v400 (youngest <= 450), v500, v600.
+        f.mftl.setWatermark(450);
+        (void)co_await f.mftl.get(2, v(10000)); // triggers lazy prune
+    });
+    EXPECT_EQ(f.mftl.versionCount(2), 3u);
+}
+
+TEST(Mftl, WatermarkKeepsSnapshotReadable)
+{
+    MftlFixture f;
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.mftl.put(2, "old", v(100));
+        co_await f.mftl.put(2, "new", v(500));
+        f.mftl.setWatermark(300);
+        // A transaction with begin timestamp 300 must still read "old".
+        got = co_await f.mftl.get(2, v(300));
+    });
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.value, "old");
+}
+
+TEST(Mftl, GcReclaimsSpaceUnderOverwrites)
+{
+    // 32 blocks x 8 pages x 8 tuples = 2048 tuple slots. Writing 200
+    // keys 40 times each = 8000 tuples forces several GC passes; the
+    // watermark advances so old versions die.
+    MftlFixture f(32);
+    f.mftl.start();
+    bool all_ok = true;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (int round = 0; round < 40; ++round) {
+            for (Key k = 0; k < 200; ++k) {
+                auto st = co_await f.mftl.put(
+                    k, "r" + std::to_string(round),
+                    v(round * 1000 + static_cast<int>(k) + 1));
+                all_ok &= (st == PutStatus::Ok);
+            }
+            f.mftl.setWatermark(round * 1000);
+        }
+        // Everything still readable at the latest version.
+        for (Key k = 0; k < 200; ++k) {
+            auto g = co_await f.mftl.getLatest(k);
+            all_ok &= g.found && g.value == "r39";
+        }
+        f.s.requestStop();
+    });
+    EXPECT_TRUE(all_ok);
+    EXPECT_GT(f.mftl.stats().counterValue("mftl.gc_erases"), 0u);
+    EXPECT_GT(f.ssd.stats().counterValue("ssd.erases"), 0u);
+}
+
+TEST(Mftl, WearLevelingKeepsSpreadSmall)
+{
+    MftlFixture f(32);
+    f.mftl.start();
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (int round = 0; round < 60; ++round) {
+            for (Key k = 0; k < 100; ++k)
+                co_await f.mftl.put(
+                    k, "x", v(round * 1000 + static_cast<int>(k) + 1));
+            f.mftl.setWatermark(round * 1000);
+        }
+        f.s.requestStop();
+    });
+    // Greedy+wear-aware victim selection should keep erase counts
+    // within a modest band.
+    EXPECT_GT(f.ssd.stats().counterValue("ssd.erases"), 20u);
+    EXPECT_LE(f.ssd.wearSpread(), 12u);
+}
+
+TEST(Mftl, RebuildFromFlashRecoversMappings)
+{
+    MftlFixture f;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.mftl.put(1, "a", v(100));
+        co_await f.mftl.put(1, "b", v(200));
+        co_await f.mftl.put(2, "c", v(150));
+    });
+    const std::size_t recovered = f.mftl.rebuildFromFlash();
+    EXPECT_GE(recovered, 3u);
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        got = co_await f.mftl.get(1, v(150));
+    });
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.value, "a");
+}
+
+// ---------------------------------------------------------------- SFTL
+
+struct SftlFixture
+{
+    sim::Simulator s;
+    flash::SsdDevice ssd;
+    Sftl sftl;
+
+    explicit SftlFixture(std::uint32_t blocks = 64)
+        : ssd(s, smallGeometry(blocks)), sftl(s, ssd, Sftl::Config{})
+    {
+    }
+};
+
+TEST(Sftl, LogicalSpaceIsNinetyPercent)
+{
+    SftlFixture f;
+    const auto total = f.ssd.geometry().totalPages();
+    EXPECT_EQ(f.sftl.logicalBlocks(),
+              static_cast<std::uint64_t>(total * 0.9));
+}
+
+TEST(Sftl, WriteReadRoundTrip)
+{
+    SftlFixture f;
+    std::optional<flash::PageData> got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        flash::PageData d;
+        flash::Record r;
+        r.key = 11;
+        r.value = "data";
+        d.records.push_back(r);
+        co_await f.sftl.write(5, std::move(d));
+        got = co_await f.sftl.read(5);
+    });
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->records[0].key, 11u);
+}
+
+TEST(Sftl, UnwrittenLbaReadsEmpty)
+{
+    SftlFixture f;
+    std::optional<flash::PageData> got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        got = co_await f.sftl.read(17);
+    });
+    EXPECT_FALSE(got.has_value());
+}
+
+TEST(Sftl, OverwriteRemapsAndInvalidatesOld)
+{
+    SftlFixture f;
+    std::optional<flash::PageData> got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        flash::PageData d1, d2;
+        flash::Record r;
+        r.key = 1;
+        r.value = "one";
+        d1.records.push_back(r);
+        r.value = "two";
+        d2.records.push_back(r);
+        co_await f.sftl.write(3, std::move(d1));
+        co_await f.sftl.write(3, std::move(d2));
+        got = co_await f.sftl.read(3);
+    });
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->records[0].value, "two");
+}
+
+TEST(Sftl, TrimUnmaps)
+{
+    SftlFixture f;
+    std::optional<flash::PageData> got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        flash::PageData d;
+        d.records.push_back(flash::Record{});
+        co_await f.sftl.write(2, std::move(d));
+        co_await f.sftl.trim(2);
+        got = co_await f.sftl.read(2);
+    });
+    EXPECT_FALSE(got.has_value());
+    EXPECT_FALSE(f.sftl.mapped(2));
+}
+
+TEST(Sftl, GcReclaimsInvalidPages)
+{
+    SftlFixture f(16); // 16 blocks x 8 pages = 128 phys pages, 115 LBAs
+    bool all_ok = true;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        // Repeatedly overwrite a small LBA set; the log wraps several
+        // times and GC must reclaim the dead pages.
+        for (int round = 0; round < 40; ++round) {
+            for (Lba lba = 0; lba < 20; ++lba) {
+                flash::PageData d;
+                flash::Record r;
+                r.key = static_cast<Key>(lba);
+                r.value = std::to_string(round);
+                d.records.push_back(r);
+                auto st = co_await f.sftl.write(lba, std::move(d));
+                all_ok &= (st == PutStatus::Ok);
+            }
+        }
+        for (Lba lba = 0; lba < 20; ++lba) {
+            auto g = co_await f.sftl.read(lba);
+            all_ok &= g.has_value() && g->records[0].value == "39";
+        }
+        f.s.requestStop();
+    });
+    EXPECT_TRUE(all_ok);
+    EXPECT_GT(f.sftl.stats().counterValue("sftl.gc_erases"), 0u);
+}
+
+// ---------------------------------------------------- SingleVersionKv
+
+struct SvkvFixture
+{
+    sim::Simulator s;
+    flash::SsdDevice ssd;
+    Sftl sftl;
+    SingleVersionKv kv;
+
+    static SingleVersionKv::Config
+    cfg()
+    {
+        SingleVersionKv::Config c;
+        c.capacityKeys = 1000;
+        return c;
+    }
+
+    SvkvFixture()
+        : ssd(s, smallGeometry(64)), sftl(s, ssd, Sftl::Config{}),
+          kv(s, sftl, cfg())
+    {
+    }
+};
+
+TEST(SingleVersionKv, RoundTrip)
+{
+    SvkvFixture f;
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.kv.put(42, "val", v(100));
+        got = co_await f.kv.get(42, v(100));
+    });
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.value, "val");
+}
+
+TEST(SingleVersionKv, IgnoresSnapshotBound)
+{
+    // Single-version storage returns the current version even when the
+    // reader asked for an older snapshot — the caller detects this by
+    // the returned stamp (Figure 6's abort mechanism).
+    SvkvFixture f;
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.kv.put(1, "new", v(500));
+        got = co_await f.kv.get(1, v(100));
+    });
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.version, v(500)); // newer than the requested bound
+}
+
+TEST(SingleVersionKv, StaleWriteRejected)
+{
+    SvkvFixture f;
+    PutStatus st{};
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.kv.put(1, "newer", v(500));
+        st = co_await f.kv.put(1, "older", v(400));
+    });
+    EXPECT_EQ(st, PutStatus::StaleVersion);
+}
+
+TEST(SingleVersionKv, SameSlotNeighborsIndependent)
+{
+    // Keys 0..7 share one LBA; updates must not clobber neighbours.
+    SvkvFixture f;
+    bool all_ok = true;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (Key k = 0; k < 8; ++k)
+            co_await f.kv.put(k, "k" + std::to_string(k), v(100 + (int)k));
+        for (Key k = 0; k < 8; ++k) {
+            auto g = co_await f.kv.getLatest(k);
+            all_ok &= g.found && g.value == "k" + std::to_string(k);
+        }
+    });
+    EXPECT_TRUE(all_ok);
+}
+
+TEST(SingleVersionKv, ConcurrentRmwSerializes)
+{
+    SvkvFixture f;
+    // Two concurrent writers to keys in the same LBA; both must land.
+    runSim(f.s, [&]() -> sim::Task<void> {
+        sim::spawn([&]() -> sim::Task<void> {
+            (void)co_await f.kv.put(0, "a", v(100));
+        }());
+        sim::spawn([&]() -> sim::Task<void> {
+            (void)co_await f.kv.put(1, "b", v(101));
+        }());
+        co_await sim::sleepFor(f.s, 10 * kMillisecond);
+        auto g0 = co_await f.kv.getLatest(0);
+        auto g1 = co_await f.kv.getLatest(1);
+        EXPECT_TRUE(g0.found);
+        EXPECT_TRUE(g1.found);
+        EXPECT_EQ(g0.value, "a");
+        EXPECT_EQ(g1.value, "b");
+    });
+}
+
+TEST(SingleVersionKv, EraseLeavesMiss)
+{
+    SvkvFixture f;
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.kv.put(5, "x", v(10));
+        co_await f.kv.erase(5);
+        got = co_await f.kv.getLatest(5);
+    });
+    EXPECT_FALSE(got.found);
+}
+
+// ---------------------------------------------------------------- VFTL
+
+struct VftlFixture
+{
+    sim::Simulator s;
+    flash::SsdDevice ssd;
+    Sftl sftl;
+    Vftl vftl;
+
+    explicit VftlFixture(std::uint32_t blocks = 64)
+        : ssd(s, smallGeometry(blocks)), sftl(s, ssd, Sftl::Config{}),
+          vftl(s, sftl, Vftl::Config{})
+    {
+    }
+};
+
+TEST(Vftl, PutGetRoundTrip)
+{
+    VftlFixture f;
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.vftl.put(7, "hello", v(100));
+        got = co_await f.vftl.get(7, v(100));
+    });
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.value, "hello");
+}
+
+TEST(Vftl, SnapshotReads)
+{
+    VftlFixture f;
+    GetResult at150;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.vftl.put(1, "v100", v(100));
+        co_await f.vftl.put(1, "v200", v(200));
+        at150 = co_await f.vftl.get(1, v(150));
+    });
+    EXPECT_EQ(at150.value, "v100");
+}
+
+TEST(Vftl, WatermarkPrunes)
+{
+    VftlFixture f;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (int i = 1; i <= 4; ++i)
+            co_await f.vftl.put(2, "x", v(i * 100));
+        f.vftl.setWatermark(250);
+        (void)co_await f.vftl.get(2, v(10000));
+    });
+    // Keep v200 (youngest <= 250), v300, v400.
+    EXPECT_EQ(f.vftl.versionCount(2), 3u);
+}
+
+TEST(Vftl, ReservesLbasForGc)
+{
+    VftlFixture f;
+    // VFTL holds back ~10% of SFTL's logical blocks.
+    EXPECT_LT(f.vftl.freeLbas(), f.sftl.logicalBlocks() + 1);
+}
+
+TEST(Vftl, GcCompactsDeadVersions)
+{
+    VftlFixture f(24);
+    f.vftl.start();
+    bool all_ok = true;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (int round = 0; round < 30; ++round) {
+            for (Key k = 0; k < 150; ++k) {
+                auto st = co_await f.vftl.put(
+                    k, "r" + std::to_string(round),
+                    v(round * 1000 + static_cast<int>(k) + 1));
+                all_ok &= (st == PutStatus::Ok);
+            }
+            f.vftl.setWatermark(round * 1000);
+        }
+        for (Key k = 0; k < 150; ++k) {
+            auto g = co_await f.vftl.getLatest(k);
+            all_ok &= g.found && g.value == "r29";
+        }
+        f.s.requestStop();
+    });
+    EXPECT_TRUE(all_ok);
+    EXPECT_GT(f.vftl.stats().counterValue("vftl.gc_trims"), 0u);
+}
+
+TEST(Vftl, TwoLevelGcBothRun)
+{
+    VftlFixture f(20);
+    f.vftl.start();
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (int round = 0; round < 40; ++round) {
+            for (Key k = 0; k < 120; ++k)
+                co_await f.vftl.put(
+                    k, "x", v(round * 1000 + static_cast<int>(k) + 1));
+            f.vftl.setWatermark(round * 1000);
+        }
+        f.s.requestStop();
+    });
+    // Both the KV-layer GC and the SFTL GC below it must have worked.
+    EXPECT_GT(f.vftl.stats().counterValue("vftl.gc_trims"), 0u);
+    EXPECT_GT(f.sftl.stats().counterValue("sftl.gc_erases"), 0u);
+}
+
+// ---------------------------------------------------------------- DRAM
+
+TEST(Dram, RoundTripAndSnapshots)
+{
+    sim::Simulator s;
+    DramBackend dram(s);
+    GetResult got;
+    runSim(s, [&]() -> sim::Task<void> {
+        co_await dram.put(1, "a", v(100));
+        co_await dram.put(1, "b", v(200));
+        got = co_await dram.get(1, v(150));
+    });
+    EXPECT_EQ(got.value, "a");
+}
+
+TEST(Dram, FastWrites)
+{
+    sim::Simulator s;
+    DramBackend dram(s);
+    common::Time done = 0;
+    runSim(s, [&]() -> sim::Task<void> {
+        co_await dram.put(1, "a", v(100));
+        done = s.now();
+    });
+    EXPECT_LT(done, 2 * kMicrosecond); // orders faster than flash
+}
+
+TEST(Dram, WatermarkPrunes)
+{
+    sim::Simulator s;
+    DramBackend dram(s);
+    runSim(s, [&]() -> sim::Task<void> {
+        for (int i = 1; i <= 5; ++i)
+            co_await dram.put(1, "x", v(i * 100));
+        dram.setWatermark(350);
+        (void)co_await dram.get(1, v(1000));
+    });
+    EXPECT_EQ(dram.versionCount(1), 3u); // v300, v400, v500
+}
+
+TEST(Dram, EraseRemoves)
+{
+    sim::Simulator s;
+    DramBackend dram(s);
+    GetResult got;
+    runSim(s, [&]() -> sim::Task<void> {
+        co_await dram.put(1, "a", v(100));
+        co_await dram.erase(1);
+        got = co_await dram.getLatest(1);
+    });
+    EXPECT_FALSE(got.found);
+}
+
+// ------------------------------------------------- cross-backend props
+
+class BackendParamTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BackendParamTest, MonotoneVersionsReadBack)
+{
+    sim::Simulator s;
+    flash::SsdDevice ssd(s, smallGeometry(64));
+    Sftl sftl(s, ssd, Sftl::Config{});
+    std::unique_ptr<KvBackend> backend;
+    const std::string which = GetParam();
+    if (which == "mftl")
+        backend = std::make_unique<Mftl>(s, ssd, Mftl::Config{});
+    else if (which == "vftl")
+        backend = std::make_unique<Vftl>(s, sftl, Vftl::Config{});
+    else
+        backend = std::make_unique<DramBackend>(s);
+
+    bool all_ok = true;
+    runSim(s, [&]() -> sim::Task<void> {
+        // Write 20 keys x 5 versions, then check every snapshot cut.
+        for (int ver = 1; ver <= 5; ++ver)
+            for (Key k = 0; k < 20; ++k)
+                co_await backend->put(
+                    k, "v" + std::to_string(ver),
+                    v(ver * 100, static_cast<common::ClientId>(k % 3)));
+        for (int cut = 1; cut <= 5; ++cut) {
+            for (Key k = 0; k < 20; ++k) {
+                auto g = co_await backend->get(k, v(cut * 100 + 50, 9));
+                all_ok &= g.found &&
+                          g.value == "v" + std::to_string(cut);
+            }
+        }
+    });
+    EXPECT_TRUE(all_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMultiVersionBackends, BackendParamTest,
+                         ::testing::Values("mftl", "vftl", "dram"));
+
+TEST(Vftl, RebuildFromStoreRecoversMappings)
+{
+    VftlFixture f;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        co_await f.vftl.put(1, "a", v(100));
+        co_await f.vftl.put(1, "b", v(200));
+        co_await f.vftl.put(2, "c", v(150));
+    });
+    const std::size_t recovered = f.vftl.rebuildFromStore();
+    EXPECT_GE(recovered, 3u);
+    GetResult got;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        got = co_await f.vftl.get(1, v(150));
+    });
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.value, "a");
+}
+
+TEST(Vftl, RebuildAfterGcStillConsistent)
+{
+    VftlFixture f(24);
+    f.vftl.start();
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (int round = 0; round < 20; ++round) {
+            for (Key k = 0; k < 100; ++k)
+                co_await f.vftl.put(
+                    k, "r" + std::to_string(round),
+                    v(round * 1000 + static_cast<int>(k) + 1));
+            f.vftl.setWatermark(round * 1000);
+        }
+        f.s.requestStop();
+    });
+    f.vftl.rebuildFromStore();
+    bool all_ok = true;
+    runSim(f.s, [&]() -> sim::Task<void> {
+        for (Key k = 0; k < 100; ++k) {
+            auto g = co_await f.vftl.getLatest(k);
+            all_ok &= g.found && g.value == "r19";
+        }
+    });
+    EXPECT_TRUE(all_ok);
+}

@@ -1,0 +1,723 @@
+/**
+ * @file
+ * MILANA integration tests: transaction semantics (atomicity,
+ * snapshot isolation, serializability), local validation, OCC
+ * conflicts, the cooperative termination protocol, leases, and
+ * primary failover recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "milana/client.hh"
+#include "workload/cluster.hh"
+
+using namespace workload;
+using common::kMillisecond;
+using common::kSecond;
+using common::Key;
+using milana::CommitResult;
+using milana::MilanaClient;
+using milana::Transaction;
+
+namespace {
+
+ClusterConfig
+smallConfig(std::uint32_t shards = 3, std::uint32_t replicas = 3,
+            std::uint32_t clients = 4)
+{
+    ClusterConfig cfg;
+    cfg.numShards = shards;
+    cfg.replicasPerShard = replicas;
+    cfg.numClients = clients;
+    cfg.backend = BackendKind::Dram;
+    cfg.clocks = ClockKind::Perfect;
+    cfg.numKeys = 2000;
+    return cfg;
+}
+
+/** Run one coroutine to completion on the cluster's simulator. */
+template <typename Fn>
+void
+drive(Cluster &cluster, Fn fn)
+{
+    sim::spawn(fn());
+    cluster.sim().run();
+}
+
+} // namespace
+
+TEST(Milana, ReadWriteTransactionCommits)
+{
+    Cluster cluster(smallConfig());
+    cluster.populate();
+    cluster.start();
+    CommitResult result{};
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto txn = client.beginTransaction();
+        auto read = co_await client.get(txn, 1);
+        EXPECT_TRUE(read.ok);
+        EXPECT_TRUE(read.found);
+        EXPECT_EQ(read.value, "init");
+        client.put(txn, 1, "updated");
+        result = co_await client.commitTransaction(txn);
+        cluster.sim().requestStop();
+    });
+    EXPECT_EQ(result, CommitResult::Committed);
+}
+
+TEST(Milana, CommittedWritesVisibleToLaterTransactions)
+{
+    Cluster cluster(smallConfig());
+    cluster.populate();
+    cluster.start();
+    std::string seen;
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto t1 = client.beginTransaction();
+        client.put(t1, 5, "newval");
+        auto r1 = co_await client.commitTransaction(t1);
+        EXPECT_EQ(r1, CommitResult::Committed);
+        // The decision is asynchronous; give it a moment to apply.
+        co_await sim::sleepFor(cluster.sim(), 20 * kMillisecond);
+        auto t2 = client.beginTransaction();
+        auto read = co_await client.get(t2, 5);
+        seen = read.value;
+        (void)co_await client.commitTransaction(t2);
+        cluster.sim().requestStop();
+    });
+    EXPECT_EQ(seen, "newval");
+}
+
+TEST(Milana, ReadYourOwnBufferedWrites)
+{
+    Cluster cluster(smallConfig());
+    cluster.populate();
+    cluster.start();
+    std::string seen;
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto txn = client.beginTransaction();
+        client.put(txn, 9, "buffered");
+        auto read = co_await client.get(txn, 9);
+        seen = read.value;
+        client.abortTransaction(txn);
+        cluster.sim().requestStop();
+    });
+    EXPECT_EQ(seen, "buffered");
+}
+
+TEST(Milana, ReadOnlyCommitsLocallyWithZeroMessages)
+{
+    Cluster cluster(smallConfig());
+    cluster.populate();
+    cluster.start();
+    CommitResult result{};
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto txn = client.beginTransaction();
+        (void)co_await client.get(txn, 1);
+        (void)co_await client.get(txn, 2);
+        const auto prepares_before =
+            cluster.serverStats().counterValue("milana.prepares");
+        result = co_await client.commitTransaction(txn);
+        const auto prepares_after =
+            cluster.serverStats().counterValue("milana.prepares");
+        EXPECT_EQ(prepares_before, prepares_after); // no 2PC at all
+        cluster.sim().requestStop();
+    });
+    EXPECT_EQ(result, CommitResult::Committed);
+    EXPECT_GT(cluster.clientStats().counterValue(
+                  "txn.local_validations"),
+              0u);
+}
+
+TEST(Milana, WriteWriteConflictAborts)
+{
+    Cluster cluster(smallConfig(1, 1, 2));
+    cluster.populate();
+    cluster.start();
+    int committed = 0, aborted = 0;
+    drive(cluster, [&]() -> sim::Task<void> {
+        // Two transactions from different clients race on key 7; both
+        // read then write it. Serializability allows at most one to
+        // commit.
+        auto worker = [&](std::uint32_t c) -> sim::Task<void> {
+            auto &client = cluster.client(c);
+            auto txn = client.beginTransaction();
+            (void)co_await client.get(txn, 7);
+            client.put(txn, 7, "c" + std::to_string(c));
+            auto r = co_await client.commitTransaction(txn);
+            if (r == CommitResult::Committed)
+                ++committed;
+            else
+                ++aborted;
+        };
+        sim::spawn(worker(0));
+        sim::spawn(worker(1));
+        co_await sim::sleepFor(cluster.sim(), kSecond);
+        cluster.sim().requestStop();
+    });
+    EXPECT_EQ(committed + aborted, 2);
+    EXPECT_LE(committed, 1);
+    EXPECT_GE(aborted, 1);
+}
+
+TEST(Milana, SnapshotIsolationAcrossConcurrentWriter)
+{
+    Cluster cluster(smallConfig());
+    cluster.populate();
+    cluster.start();
+    std::string first, second;
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &reader = cluster.client(0);
+        auto &writer = cluster.client(1);
+
+        auto ro = reader.beginTransaction();
+        auto r1 = co_await reader.get(ro, 11);
+        first = r1.value;
+
+        // A writer commits a new version after the reader's begin.
+        auto w = writer.beginTransaction();
+        writer.put(w, 11, "after-snapshot");
+        auto wr = co_await writer.commitTransaction(w);
+        EXPECT_EQ(wr, CommitResult::Committed);
+        co_await sim::sleepFor(cluster.sim(), 20 * kMillisecond);
+
+        // The reader must still see its snapshot (multi-version).
+        auto r2 = co_await reader.get(ro, 12);
+        (void)r2;
+        auto r3 = co_await reader.get(ro, 11); // cached
+        second = r3.value;
+        auto rr = co_await reader.commitTransaction(ro);
+        EXPECT_EQ(rr, CommitResult::Committed);
+        cluster.sim().requestStop();
+    });
+    EXPECT_EQ(first, "init");
+    EXPECT_EQ(second, "init");
+}
+
+TEST(Milana, AbortDiscardsBufferedWrites)
+{
+    Cluster cluster(smallConfig());
+    cluster.populate();
+    cluster.start();
+    std::string seen;
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto t1 = client.beginTransaction();
+        client.put(t1, 3, "discarded");
+        client.abortTransaction(t1);
+        auto t2 = client.beginTransaction();
+        auto read = co_await client.get(t2, 3);
+        seen = read.value;
+        (void)co_await client.commitTransaction(t2);
+        cluster.sim().requestStop();
+    });
+    EXPECT_EQ(seen, "init");
+}
+
+TEST(Milana, CrossShardTransactionIsAtomic)
+{
+    Cluster cluster(smallConfig(3, 1, 2));
+    cluster.populate();
+    cluster.start();
+    // Write a batch of keys that hash across shards in one
+    // transaction; afterwards either all or none are visible.
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto txn = client.beginTransaction();
+        for (Key k = 100; k < 110; ++k)
+            client.put(txn, k, "batch");
+        auto r = co_await client.commitTransaction(txn);
+        EXPECT_EQ(r, CommitResult::Committed);
+        co_await sim::sleepFor(cluster.sim(), 50 * kMillisecond);
+
+        auto check = client.beginTransaction();
+        int updated = 0;
+        for (Key k = 100; k < 110; ++k) {
+            auto read = co_await client.get(check, k);
+            updated += (read.value == "batch");
+        }
+        EXPECT_EQ(updated, 10);
+        (void)co_await client.commitTransaction(check);
+        cluster.sim().requestStop();
+    });
+}
+
+TEST(Milana, SerializabilityBankInvariant)
+{
+    // The classic audit test: concurrent transfers move value between
+    // accounts; read-only audits must always see the same total.
+    Cluster cluster(smallConfig(3, 1, 4));
+    cluster.populate();
+    cluster.start();
+    constexpr Key kAccounts = 16;
+    constexpr int kInitial = 100;
+
+    bool audit_violation = false;
+    int audits_done = 0;
+
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &setup = cluster.client(0);
+        auto init = setup.beginTransaction();
+        for (Key a = 0; a < kAccounts; ++a)
+            setup.put(init, a, std::to_string(kInitial));
+        auto ir = co_await setup.commitTransaction(init);
+        EXPECT_EQ(ir, CommitResult::Committed);
+        co_await sim::sleepFor(cluster.sim(), 50 * kMillisecond);
+
+        auto transferer = [&](std::uint32_t c) -> sim::Task<void> {
+            auto &client = cluster.client(c);
+            common::Rng rng(c + 77);
+            for (int i = 0; i < 40; ++i) {
+                const Key from = rng.nextBounded(kAccounts);
+                const Key to = rng.nextBounded(kAccounts);
+                if (from == to)
+                    continue;
+                auto txn = client.beginTransaction();
+                auto rf = co_await client.get(txn, from);
+                auto rt = co_await client.get(txn, to);
+                if (!rf.ok || !rt.ok) {
+                    client.abortTransaction(txn);
+                    continue;
+                }
+                const int vf = std::stoi(rf.value);
+                const int vt = std::stoi(rt.value);
+                client.put(txn, from, std::to_string(vf - 1));
+                client.put(txn, to, std::to_string(vt + 1));
+                (void)co_await client.commitTransaction(txn);
+            }
+        };
+        auto auditor = [&]() -> sim::Task<void> {
+            auto &client = cluster.client(3);
+            for (int i = 0; i < 30; ++i) {
+                auto txn = client.beginTransaction();
+                long total = 0;
+                bool ok = true;
+                for (Key a = 0; a < kAccounts && ok; ++a) {
+                    auto r = co_await client.get(txn, a);
+                    ok = r.ok && r.found;
+                    if (ok)
+                        total += std::stoi(r.value);
+                }
+                auto cr = co_await client.commitTransaction(txn);
+                if (ok && cr == CommitResult::Committed) {
+                    ++audits_done;
+                    if (total != kAccounts * kInitial)
+                        audit_violation = true;
+                }
+                co_await sim::sleepFor(cluster.sim(), kMillisecond);
+            }
+        };
+        sim::spawn(transferer(1));
+        sim::spawn(transferer(2));
+        sim::spawn(auditor());
+        co_await sim::sleepFor(cluster.sim(), 5 * kSecond);
+        cluster.sim().requestStop();
+    });
+    EXPECT_GT(audits_done, 5);
+    EXPECT_FALSE(audit_violation);
+}
+
+TEST(Milana, CtpResolvesOrphanedPrepare)
+{
+    // A client crashes after its prepares land but before any decision
+    // is delivered. The participants' cooperative termination protocol
+    // must resolve the transaction (all voted commit -> commit) and
+    // unblock the keys.
+    Cluster cluster(smallConfig(2, 1, 2));
+    cluster.populate();
+    cluster.start();
+
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &doomed = cluster.client(0);
+        auto txn = doomed.beginTransaction();
+        for (Key k = 0; k < 12; ++k)
+            doomed.put(txn, k, "orphan");
+        // Crash the client node mid-commit: prepares already in flight
+        // will be delivered, but the client's decision messages (and
+        // the vote responses) are dropped.
+        sim::spawn([](MilanaClient *client,
+                      Transaction *txn) -> sim::Task<void> {
+            (void)co_await client->commitTransaction(*txn);
+        }(&doomed, &txn));
+        // 60 us: the prepare requests are in flight (sent at ~0, one
+        // way ~50 us) but the votes cannot have returned yet.
+        co_await sim::sleepFor(cluster.sim(),
+                               60 * common::kMicrosecond);
+        cluster.network().setNodeDown(doomed.nodeId(), true);
+
+        // Give the CTP time to fire (timeout 50 ms + scan period).
+        co_await sim::sleepFor(cluster.sim(), 500 * kMillisecond);
+
+        // The transaction table must hold no prepared entries and the
+        // keys must be writable again by another client.
+        for (common::ShardId s = 0; s < 2; ++s) {
+            EXPECT_EQ(cluster.primary(s).txnTable().size(), 0u)
+                << "shard " << s << " still blocked";
+        }
+        auto &other = cluster.client(1);
+        auto txn2 = other.beginTransaction();
+        (void)co_await other.get(txn2, 0);
+        other.put(txn2, 0, "unblocked");
+        auto r = co_await other.commitTransaction(txn2);
+        EXPECT_EQ(r, CommitResult::Committed);
+        cluster.sim().requestStop();
+    });
+    common::StatSet servers = cluster.serverStats();
+    EXPECT_GT(servers.counterValue("milana.ctp_invocations"), 0u);
+}
+
+TEST(Milana, FailoverRecoversCommittedState)
+{
+    Cluster cluster(smallConfig(1, 3, 2));
+    cluster.populate();
+    cluster.start();
+
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto txn = client.beginTransaction();
+        client.put(txn, 42, "survives");
+        auto r = co_await client.commitTransaction(txn);
+        EXPECT_EQ(r, CommitResult::Committed);
+        co_await sim::sleepFor(cluster.sim(), 100 * kMillisecond);
+
+        // Crash the primary (node 0) and promote the first backup.
+        const common::NodeId old_primary =
+            cluster.master().primaryOf(0);
+        const common::NodeId new_primary =
+            cluster.master().backupsOf(0)[0];
+        cluster.crashServer(old_primary);
+        co_await cluster.failover(0, new_primary);
+
+        // After recovery (incl. the lease wait), reads and writes work
+        // against the new primary and see the committed value.
+        auto txn2 = client.beginTransaction();
+        auto read = co_await client.get(txn2, 42);
+        EXPECT_TRUE(read.ok);
+        EXPECT_EQ(read.value, "survives");
+        client.put(txn2, 42, "post-failover");
+        auto r2 = co_await client.commitTransaction(txn2);
+        EXPECT_EQ(r2, CommitResult::Committed);
+        cluster.sim().requestStop();
+    });
+}
+
+TEST(Milana, FailoverResolvesInDoubtCrossShardTxn)
+{
+    // Prepare lands on shards A and B; the commit decision reaches
+    // only B before A's primary crashes. The promoted A-replica must
+    // learn the outcome from B during recovery (Algorithm 2 + CTP).
+    Cluster cluster(smallConfig(2, 3, 2));
+    cluster.populate();
+    cluster.start();
+
+    // Find one key per shard.
+    Key key_a = 0, key_b = 0;
+    for (Key k = 0; k < 100; ++k) {
+        if (cluster.master().shardMap().shardOf(k) == 0)
+            key_a = k;
+        else
+            key_b = k;
+    }
+
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto txn = client.beginTransaction();
+        client.put(txn, key_a, "in-doubt");
+        client.put(txn, key_b, "in-doubt");
+        auto r = co_await client.commitTransaction(txn);
+        EXPECT_EQ(r, CommitResult::Committed);
+
+        // Immediately crash shard 0's primary: with high probability
+        // the async decision reached B but not necessarily A; either
+        // way recovery must converge to commit.
+        const common::NodeId a_primary = cluster.master().primaryOf(0);
+        cluster.crashServer(a_primary);
+        const common::NodeId promoted =
+            cluster.master().backupsOf(0)[0];
+        co_await cluster.failover(0, promoted);
+        co_await sim::sleepFor(cluster.sim(), 500 * kMillisecond);
+
+        auto check = client.beginTransaction();
+        auto ra = co_await client.get(check, key_a);
+        auto rb = co_await client.get(check, key_b);
+        EXPECT_EQ(ra.value, "in-doubt");
+        EXPECT_EQ(rb.value, "in-doubt");
+        (void)co_await client.commitTransaction(check);
+        cluster.sim().requestStop();
+    });
+}
+
+TEST(Milana, RemoteValidationPathForReadOnly)
+{
+    auto cfg = smallConfig();
+    cfg.localValidation = false; // Figure 8's "w/o LV" configuration
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+    CommitResult result{};
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto txn = client.beginTransaction();
+        (void)co_await client.get(txn, 1);
+        (void)co_await client.get(txn, 2);
+        result = co_await client.commitTransaction(txn);
+        cluster.sim().requestStop();
+    });
+    EXPECT_EQ(result, CommitResult::Committed);
+    // Remote validation means the servers saw prepare requests.
+    EXPECT_GT(cluster.serverStats().counterValue("milana.prepares"), 0u);
+    EXPECT_EQ(cluster.clientStats().counterValue(
+                  "txn.local_validations"),
+              0u);
+}
+
+TEST(Milana, LeaseRenewalRuns)
+{
+    Cluster cluster(smallConfig(1, 3, 2));
+    cluster.populate();
+    cluster.start();
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto txn = client.beginTransaction();
+        (void)co_await client.get(txn, 1);
+        (void)co_await client.commitTransaction(txn);
+        co_await sim::sleepFor(cluster.sim(), 2 * kSecond);
+        cluster.sim().requestStop();
+    });
+    EXPECT_GT(cluster.serverStats().counterValue(
+                  "milana.lease_renewals"),
+              0u);
+    EXPECT_GT(cluster.primary(0).leaseUntil(), 0);
+}
+
+TEST(Milana, ReplicaReadsValidateAtPrimary)
+{
+    // Section 4.6 relaxation: a read-write-hinted transaction reads
+    // from arbitrary replicas; commit still validates at the primary.
+    auto cfg = smallConfig(2, 3, 2);
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+    // Rebuild a client with the relaxation enabled.
+    milana::MilanaClient::TxnConfig tcfg;
+    tcfg.readFromAnyReplica = true;
+    semel::Client::Config ccfg;
+    clocksync::PerfectClock clock(cluster.sim());
+    milana::MilanaClient relaxed(cluster.sim(), cluster.network(), 2000,
+                                 99, clock, cluster.master(),
+                                 cluster.directory(), ccfg, tcfg);
+    CommitResult result{};
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto txn = relaxed.beginTransaction(milana::TxnHint::ReadWrite);
+        auto r = co_await relaxed.get(txn, 3);
+        EXPECT_TRUE(r.ok);
+        EXPECT_EQ(r.value, "init");
+        relaxed.put(txn, 3, "via-replica-read");
+        result = co_await relaxed.commitTransaction(txn);
+        cluster.sim().requestStop();
+    });
+    EXPECT_EQ(result, CommitResult::Committed);
+    EXPECT_GT(relaxed.stats().counterValue("txn.replica_reads"), 0u);
+}
+
+TEST(Milana, StaleReplicaReadAborts)
+{
+    // A replica read that returns stale data must fail validation at
+    // the primary rather than commit a non-serializable transaction.
+    auto cfg = smallConfig(1, 3, 2);
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+    milana::MilanaClient::TxnConfig tcfg;
+    tcfg.readFromAnyReplica = true;
+    semel::Client::Config ccfg;
+    clocksync::PerfectClock clock(cluster.sim());
+    milana::MilanaClient relaxed(cluster.sim(), cluster.network(), 2001,
+                                 98, clock, cluster.master(),
+                                 cluster.directory(), ccfg, tcfg);
+    drive(cluster, [&]() -> sim::Task<void> {
+        // Cut replication to one backup so it stays stale, then
+        // repeatedly update key 5 through the normal client.
+        auto &writer = cluster.client(0);
+        for (int i = 0; i < 5; ++i) {
+            auto w = writer.beginTransaction();
+            writer.put(w, 5, "fresh" + std::to_string(i));
+            (void)co_await writer.commitTransaction(w);
+        }
+        co_await sim::sleepFor(cluster.sim(), 50 * kMillisecond);
+
+        // Hinted transactions read from random replicas; across
+        // attempts some read stale snapshots, but every COMMITTED
+        // outcome must reflect primary-validated state.
+        int commits = 0, aborts = 0;
+        for (int i = 0; i < 20; ++i) {
+            auto txn =
+                relaxed.beginTransaction(milana::TxnHint::ReadWrite);
+            auto r = co_await relaxed.get(txn, 5);
+            if (!r.ok) {
+                relaxed.abortTransaction(txn);
+                continue;
+            }
+            relaxed.put(txn, 5, "rw" + std::to_string(i));
+            auto res = co_await relaxed.commitTransaction(txn);
+            (res == CommitResult::Committed ? commits : aborts)++;
+        }
+        EXPECT_GT(commits, 0);
+        cluster.sim().requestStop();
+    });
+}
+
+TEST(Milana, InterTxnCacheServesRepeatReads)
+{
+    auto cfg = smallConfig(2, 1, 1);
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+    milana::MilanaClient::TxnConfig tcfg;
+    tcfg.interTxnCacheCapacity = 128;
+    semel::Client::Config ccfg;
+    clocksync::PerfectClock clock(cluster.sim());
+    milana::MilanaClient cachy(cluster.sim(), cluster.network(), 2002,
+                               97, clock, cluster.master(),
+                               cluster.directory(), ccfg, tcfg);
+    drive(cluster, [&]() -> sim::Task<void> {
+        // First hinted txn populates the cache.
+        auto t1 = cachy.beginTransaction(milana::TxnHint::ReadWrite);
+        (void)co_await cachy.get(t1, 4);
+        cachy.put(t1, 9, "x");
+        (void)co_await cachy.commitTransaction(t1);
+
+        // Second hinted txn reads key 4 from cache: zero server gets.
+        const auto gets_before =
+            cachy.stats().counterValue("client.gets");
+        auto t2 = cachy.beginTransaction(milana::TxnHint::ReadWrite);
+        auto r = co_await cachy.get(t2, 4);
+        EXPECT_TRUE(r.ok);
+        EXPECT_EQ(cachy.stats().counterValue("client.gets"),
+                  gets_before);
+        EXPECT_GT(cachy.stats().counterValue("txn.cache_hits"), 0u);
+        cachy.put(t2, 9, "y");
+        auto res = co_await cachy.commitTransaction(t2);
+        EXPECT_EQ(res, CommitResult::Committed);
+        cluster.sim().requestStop();
+    });
+}
+
+TEST(Milana, StaleCacheEntryAbortsThenRecovers)
+{
+    auto cfg = smallConfig(1, 1, 2);
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+    milana::MilanaClient::TxnConfig tcfg;
+    tcfg.interTxnCacheCapacity = 128;
+    semel::Client::Config ccfg;
+    clocksync::PerfectClock clock(cluster.sim());
+    milana::MilanaClient cachy(cluster.sim(), cluster.network(), 2003,
+                               96, clock, cluster.master(),
+                               cluster.directory(), ccfg, tcfg);
+    drive(cluster, [&]() -> sim::Task<void> {
+        // Warm the cache on key 6.
+        auto t1 = cachy.beginTransaction(milana::TxnHint::ReadWrite);
+        (void)co_await cachy.get(t1, 6);
+        cachy.put(t1, 7, "warm");
+        (void)co_await cachy.commitTransaction(t1);
+
+        // Another client updates key 6 behind the cache's back.
+        auto &other = cluster.client(0);
+        auto w = other.beginTransaction();
+        other.put(w, 6, "invalidating");
+        (void)co_await other.commitTransaction(w);
+        co_await sim::sleepFor(cluster.sim(), 50 * kMillisecond);
+
+        // The cached read is now stale: the hinted txn must abort...
+        auto t2 = cachy.beginTransaction(milana::TxnHint::ReadWrite);
+        (void)co_await cachy.get(t2, 6); // cache hit, stale
+        cachy.put(t2, 6, "mine");
+        auto r2 = co_await cachy.commitTransaction(t2);
+        EXPECT_EQ(r2, CommitResult::Aborted);
+
+        // ...and the abort invalidates the entry, so the retry reads
+        // fresh data and commits.
+        auto t3 = cachy.beginTransaction(milana::TxnHint::ReadWrite);
+        auto fresh = co_await cachy.get(t3, 6);
+        EXPECT_EQ(fresh.value, "invalidating");
+        cachy.put(t3, 6, "mine-after-retry");
+        auto r3 = co_await cachy.commitTransaction(t3);
+        EXPECT_EQ(r3, CommitResult::Committed);
+        cluster.sim().requestStop();
+    });
+}
+
+TEST(Milana, ConcurrentDecisionsAreIdempotent)
+{
+    // Regression: a duplicate/CTP decision racing the client's own
+    // decision must not resolve the transaction entry out from under
+    // the in-flight apply (use-after-free class).
+    Cluster cluster(smallConfig(1, 1, 1));
+    cluster.populate();
+    cluster.start();
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto &client = cluster.client(0);
+        auto txn = client.beginTransaction();
+        client.put(txn, 1, "raced");
+        client.put(txn, 2, "raced");
+        auto r = co_await client.commitTransaction(txn);
+        EXPECT_EQ(r, CommitResult::Committed);
+
+        // Fire several duplicate decisions at the primary while the
+        // first (async) one may still be applying.
+        auto &primary = cluster.primary(0);
+        semel::DecisionRequest dup{txn.id(),
+                                   semel::TxnDecision::Commit};
+        for (int i = 0; i < 4; ++i)
+            sim::spawn([](milana::MilanaServer *p,
+                          semel::DecisionRequest d) -> sim::Task<void> {
+                (void)co_await p->handleDecision(d);
+            }(&primary, dup));
+        co_await sim::sleepFor(cluster.sim(), 100 * kMillisecond);
+
+        auto check = client.beginTransaction();
+        auto v1 = co_await client.get(check, 1);
+        EXPECT_EQ(v1.value, "raced");
+        (void)co_await client.commitTransaction(check);
+        cluster.sim().requestStop();
+    });
+}
+
+TEST(Milana, CtpRacingClientDecisionConverges)
+{
+    // Stress the decision race at scale: many multi-key transactions
+    // with an aggressive CTP scanner; everything must converge with no
+    // dangling prepared entries.
+    auto cfg = smallConfig(2, 1, 4);
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+    drive(cluster, [&]() -> sim::Task<void> {
+        auto worker = [&](std::uint32_t c) -> sim::Task<void> {
+            auto &client = cluster.client(c);
+            common::Rng rng(c + 5);
+            for (int i = 0; i < 50; ++i) {
+                auto txn = client.beginTransaction();
+                for (int k = 0; k < 4; ++k)
+                    client.put(txn,
+                               rng.nextBounded(200),
+                               "w" + std::to_string(i));
+                (void)co_await client.commitTransaction(txn);
+            }
+        };
+        for (std::uint32_t c = 0; c < 4; ++c)
+            sim::spawn(worker(c));
+        co_await sim::sleepFor(cluster.sim(), 5 * kSecond);
+        for (common::ShardId s = 0; s < 2; ++s)
+            EXPECT_EQ(cluster.primary(s).txnTable().size(), 0u);
+        cluster.sim().requestStop();
+    });
+}

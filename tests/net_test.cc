@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the simulated network: delay sampling, RPC round trips,
+ * crash and partition semantics, one-way sends, and loss timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+#include "sim/simulator.hh"
+
+using namespace net;
+using common::kMicrosecond;
+using common::kMillisecond;
+using common::Rng;
+
+namespace {
+
+NetConfig
+fastConfig()
+{
+    NetConfig cfg;
+    cfg.oneWayMean = 50 * kMicrosecond;
+    cfg.oneWaySigma = 0;
+    cfg.minLatency = 5 * kMicrosecond;
+    cfg.rpcTimeout = 5 * kMillisecond;
+    return cfg;
+}
+
+sim::Task<int>
+echoHandler(int x)
+{
+    co_return x * 2;
+}
+
+} // namespace
+
+TEST(Network, DelaySamplesRespectMinimum)
+{
+    sim::Simulator s;
+    NetConfig cfg;
+    cfg.oneWayMean = 10 * kMicrosecond;
+    cfg.oneWaySigma = 50 * kMicrosecond; // wild jitter
+    cfg.minLatency = 5 * kMicrosecond;
+    Network net(s, cfg, Rng(1));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(net.sampleDelay(), cfg.minLatency);
+}
+
+TEST(Network, DelayMeanApproximatelyConfigured)
+{
+    sim::Simulator s;
+    NetConfig cfg;
+    cfg.oneWayMean = 100 * kMicrosecond;
+    cfg.oneWaySigma = 10 * kMicrosecond;
+    Network net(s, cfg, Rng(2));
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(net.sampleDelay());
+    EXPECT_NEAR(sum / n, 100 * kMicrosecond, 2 * kMicrosecond);
+}
+
+TEST(Network, RpcRoundTripDeliversAndTimes)
+{
+    sim::Simulator s;
+    Network net(s, fastConfig(), Rng(3));
+    std::optional<int> got;
+    common::Time done = 0;
+    sim::spawn([](sim::Simulator *s, Network *net,
+                  std::optional<int> *got,
+                  common::Time *done) -> sim::Task<void> {
+        *got = co_await net->callTyped<int>(1, 2, echoHandler(21));
+        *done = s->now();
+    }(&s, &net, &got, &done));
+    s.run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 42);
+    EXPECT_EQ(done, 2 * 50 * kMicrosecond); // request + response legs
+}
+
+TEST(Network, CrashedDestinationTimesOut)
+{
+    sim::Simulator s;
+    Network net(s, fastConfig(), Rng(4));
+    net.setNodeDown(2, true);
+    std::optional<int> got = 7;
+    common::Time done = 0;
+    sim::spawn([](sim::Simulator *s, Network *net,
+                  std::optional<int> *got,
+                  common::Time *done) -> sim::Task<void> {
+        *got = co_await net->callTyped<int>(1, 2, echoHandler(21));
+        *done = s->now();
+    }(&s, &net, &got, &done));
+    s.run();
+    EXPECT_FALSE(got.has_value());
+    EXPECT_EQ(done, 5 * kMillisecond); // the configured RPC timeout
+}
+
+TEST(Network, CrashMidFlightDropsRequest)
+{
+    sim::Simulator s;
+    Network net(s, fastConfig(), Rng(5));
+    std::optional<int> got = 7;
+    sim::spawn([](Network *net,
+                  std::optional<int> *got) -> sim::Task<void> {
+        *got = co_await net->callTyped<int>(1, 2, echoHandler(21));
+    }(&net, &got));
+    // Crash the destination while the request is in flight (25 us in).
+    s.schedule(25 * kMicrosecond, [&] { net.setNodeDown(2, true); });
+    s.run();
+    EXPECT_FALSE(got.has_value());
+}
+
+TEST(Network, PartitionBlocksBothDirections)
+{
+    sim::Simulator s;
+    Network net(s, fastConfig(), Rng(6));
+    net.setLinkBroken(1, 2, true);
+    EXPECT_FALSE(net.deliverable(1, 2));
+    EXPECT_FALSE(net.deliverable(2, 1));
+    EXPECT_TRUE(net.deliverable(1, 3));
+    net.setLinkBroken(1, 2, false);
+    EXPECT_TRUE(net.deliverable(1, 2));
+}
+
+TEST(Network, NodeRestartRestoresDelivery)
+{
+    sim::Simulator s;
+    Network net(s, fastConfig(), Rng(7));
+    net.setNodeDown(5, true);
+    EXPECT_FALSE(net.deliverable(1, 5));
+    net.setNodeDown(5, false);
+    EXPECT_TRUE(net.deliverable(1, 5));
+}
+
+TEST(Network, OneWaySendDelivers)
+{
+    sim::Simulator s;
+    Network net(s, fastConfig(), Rng(8));
+    bool delivered = false;
+    net.send(1, 2, [&] { delivered = true; });
+    s.run();
+    EXPECT_TRUE(delivered);
+}
+
+TEST(Network, OneWaySendToDownNodeDropped)
+{
+    sim::Simulator s;
+    Network net(s, fastConfig(), Rng(9));
+    net.setNodeDown(2, true);
+    bool delivered = false;
+    net.send(1, 2, [&] { delivered = true; });
+    s.run();
+    EXPECT_FALSE(delivered);
+}
+
+TEST(Network, StatsCountTraffic)
+{
+    sim::Simulator s;
+    Network net(s, fastConfig(), Rng(10));
+    sim::spawn([](Network *net) -> sim::Task<void> {
+        (void)co_await net->callTyped<int>(1, 2, echoHandler(1));
+    }(&net));
+    s.run();
+    EXPECT_EQ(net.stats().counterValue("net.calls"), 1u);
+    EXPECT_EQ(net.stats().counterValue("net.request_lost"), 0u);
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the pack buffer (ftl::PackLog): fill-triggered and
+ * timer-triggered flushes, batch boundaries, relocation flagging, and
+ * forced flushes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ftl/pack_log.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+using namespace ftl;
+using common::kMicrosecond;
+using common::kMillisecond;
+
+namespace {
+
+struct Capture
+{
+    sim::Simulator sim;
+    std::vector<std::vector<Pending>> batches;
+    PackLog log;
+
+    explicit Capture(common::Duration timeout = kMillisecond)
+        : log(sim, 4096, timeout, [this](std::vector<Pending> b) {
+              // Resolve acks immediately (stand-in for a flush task).
+              for (auto &p : b)
+                  p.ack.set(PutStatus::Ok);
+              batches.push_back(std::move(b));
+          })
+    {
+    }
+
+    flash::Record
+    record(common::Key key, std::uint32_t bytes = 512)
+    {
+        flash::Record r;
+        r.key = key;
+        r.sizeBytes = bytes;
+        return r;
+    }
+};
+
+} // namespace
+
+TEST(PackLog, FullPageFlushesImmediately)
+{
+    Capture c;
+    for (common::Key k = 0; k < 8; ++k)
+        (void)c.log.append(c.record(k), false);
+    // 8 x 512B == 4096: the batch must have flushed synchronously.
+    ASSERT_EQ(c.batches.size(), 1u);
+    EXPECT_EQ(c.batches[0].size(), 8u);
+    EXPECT_TRUE(c.log.empty());
+}
+
+TEST(PackLog, TimerFlushesPartialPage)
+{
+    Capture c(kMillisecond);
+    auto fut = c.log.append(c.record(1), false);
+    EXPECT_TRUE(c.batches.empty());
+    c.sim.run(); // fires the pack timer
+    ASSERT_EQ(c.batches.size(), 1u);
+    EXPECT_EQ(c.batches[0].size(), 1u);
+    EXPECT_EQ(c.sim.now(), kMillisecond);
+    EXPECT_TRUE(fut.ready());
+}
+
+TEST(PackLog, StaleTimerDoesNotDoubleFlush)
+{
+    Capture c(kMillisecond);
+    (void)c.log.append(c.record(1), false);
+    // Fill the page before the timer fires: one flush now...
+    for (common::Key k = 2; k <= 8; ++k)
+        (void)c.log.append(c.record(k), false);
+    ASSERT_EQ(c.batches.size(), 1u);
+    // ...and the stale timer must not flush an empty buffer again.
+    c.sim.run();
+    EXPECT_EQ(c.batches.size(), 1u);
+}
+
+TEST(PackLog, OversizeRecordStartsNewPage)
+{
+    Capture c;
+    (void)c.log.append(c.record(1, 2048), false);
+    (void)c.log.append(c.record(2, 3000), false); // 2048+3000 > 4096
+    // First record flushed alone to make room.
+    ASSERT_EQ(c.batches.size(), 1u);
+    EXPECT_EQ(c.batches[0].size(), 1u);
+    EXPECT_EQ(c.log.bufferedBytes(), 3000u);
+}
+
+TEST(PackLog, FlushNowForcesPartial)
+{
+    Capture c;
+    (void)c.log.append(c.record(1), false);
+    (void)c.log.append(c.record(2), false);
+    c.log.flushNow();
+    ASSERT_EQ(c.batches.size(), 1u);
+    EXPECT_EQ(c.batches[0].size(), 2u);
+    c.log.flushNow(); // idempotent on empty buffer
+    EXPECT_EQ(c.batches.size(), 1u);
+}
+
+TEST(PackLog, RelocationFlagPreserved)
+{
+    Capture c;
+    (void)c.log.append(c.record(1), false);
+    (void)c.log.append(c.record(2), true);
+    c.log.flushNow();
+    ASSERT_EQ(c.batches.size(), 1u);
+    EXPECT_FALSE(c.batches[0][0].relocation);
+    EXPECT_TRUE(c.batches[0][1].relocation);
+}
+
+TEST(PackLog, MixedSizesPackUntilFull)
+{
+    Capture c;
+    // 5 x 768 = 3840; the 6th (768) would exceed 4096.
+    for (common::Key k = 0; k < 6; ++k)
+        (void)c.log.append(c.record(k, 768), false);
+    ASSERT_EQ(c.batches.size(), 1u);
+    EXPECT_EQ(c.batches[0].size(), 5u);
+    EXPECT_EQ(c.log.bufferedBytes(), 768u);
+}

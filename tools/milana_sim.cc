@@ -1,0 +1,212 @@
+/**
+ * @file
+ * milana_sim — command-line scenario runner for the simulated
+ * MILANA/SEMEL stack. Builds an arbitrary topology, drives a Retwis
+ * fleet, optionally injects a primary crash + failover, and reports
+ * throughput, latency, abort rates, skew, and (on request) the full
+ * stat dump of every component.
+ *
+ * Examples:
+ *   # the paper's Figure 7 point, by hand:
+ *   milana_sim --shards=1 --replicas=3 --clients=20 --backend=mftl \
+ *              --clocks=ntp --alpha=0.9 --seconds=5
+ *
+ *   # kill shard 0's primary two seconds in, watch recovery:
+ *   milana_sim --shards=2 --replicas=3 --crash-at=2 --seconds=8
+ *
+ *   # everything the simulator knows, for debugging:
+ *   milana_sim --seconds=2 --dump-stats
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "../bench/bench_util.hh"
+#include "workload/cluster.hh"
+#include "workload/retwis.hh"
+
+using common::kSecond;
+using workload::BackendKind;
+using workload::ClockKind;
+using workload::Cluster;
+using workload::ClusterConfig;
+using workload::RetwisConfig;
+using workload::RetwisWorkload;
+
+namespace {
+
+BackendKind
+parseBackend(const std::string &name)
+{
+    if (name == "dram")
+        return BackendKind::Dram;
+    if (name == "mftl")
+        return BackendKind::Mftl;
+    if (name == "vftl")
+        return BackendKind::Vftl;
+    if (name == "sftl")
+        return BackendKind::SingleVersion;
+    std::fprintf(stderr, "unknown backend '%s' "
+                         "(dram|mftl|vftl|sftl)\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+ClockKind
+parseClocks(const std::string &name)
+{
+    if (name == "perfect")
+        return ClockKind::Perfect;
+    if (name == "ptp")
+        return ClockKind::PtpSw;
+    if (name == "ptp-hw")
+        return ClockKind::PtpHw;
+    if (name == "ntp")
+        return ClockKind::Ntp;
+    if (name == "dtp")
+        return ClockKind::Dtp;
+    std::fprintf(stderr, "unknown clocks '%s' "
+                         "(perfect|ptp|ptp-hw|ntp|dtp)\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+std::string
+getString(int argc, char **argv, const std::string &name,
+          const std::string &def)
+{
+    const std::string prefix = "--" + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return std::string(argv[i] + prefix.size());
+    }
+    return def;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    if (args.has("help")) {
+        std::printf(
+            "usage: milana_sim [options]\n"
+            "  --shards=N --replicas=N --clients=N --keys=N --seed=N\n"
+            "  --backend=dram|mftl|vftl|sftl   --clocks=perfect|ptp|"
+            "ptp-hw|ntp|dtp\n"
+            "  --alpha=F (Zipf contention)     --read-heavy (75%% "
+            "read-only mix)\n"
+            "  --no-local-validation           --centiman\n"
+            "  --seconds=N --warmup=N          --crash-at=N (crash "
+            "shard 0's primary)\n"
+            "  --dump-stats\n");
+        return 0;
+    }
+
+    ClusterConfig cfg;
+    cfg.numShards = static_cast<std::uint32_t>(args.getInt("shards", 3));
+    cfg.replicasPerShard =
+        static_cast<std::uint32_t>(args.getInt("replicas", 3));
+    cfg.numClients =
+        static_cast<std::uint32_t>(args.getInt("clients", 20));
+    cfg.numKeys = static_cast<std::uint64_t>(args.getInt("keys", 50'000));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    cfg.backend = parseBackend(getString(argc, argv, "backend", "mftl"));
+    cfg.clocks = parseClocks(getString(argc, argv, "clocks", "ptp"));
+    cfg.localValidation = !args.has("no-local-validation");
+    cfg.centiman = args.has("centiman");
+
+    RetwisConfig retwis;
+    retwis.alpha = args.getDouble("alpha", 0.6);
+    retwis.numKeys = cfg.numKeys;
+    retwis.readHeavy = args.has("read-heavy");
+    retwis.seed = cfg.seed + 100;
+
+    const auto warmup = args.getInt("warmup", 1) * kSecond;
+    const auto measure = args.getInt("seconds", 5) * kSecond;
+    const auto crash_at = args.getInt("crash-at", -1);
+
+    std::printf("milana_sim: %u shard(s) x %u replica(s), %u clients, "
+                "%s backend, %s clocks, alpha=%.2f%s%s\n",
+                cfg.numShards, cfg.replicasPerShard, cfg.numClients,
+                workload::backendName(cfg.backend),
+                workload::clockName(cfg.clocks), retwis.alpha,
+                cfg.localValidation ? "" : ", LV off",
+                cfg.centiman ? ", centiman validation" : "");
+
+    Cluster cluster(cfg);
+    std::printf("populating %llu keys...\n",
+                static_cast<unsigned long long>(cfg.numKeys));
+    cluster.populate();
+    cluster.start();
+
+    RetwisWorkload fleet(cluster, retwis);
+    fleet.start();
+
+    if (crash_at >= 0) {
+        const auto victim = cluster.master().primaryOf(0);
+        cluster.sim().schedule(
+            warmup + crash_at * kSecond, [&cluster, victim] {
+                std::printf("[t=%.2fs] crashing shard-0 primary "
+                            "(node %u) and promoting a backup\n",
+                            common::toSeconds(cluster.sim().now()),
+                            victim);
+                cluster.crashServer(victim);
+                const auto promoted =
+                    cluster.master().backupsOf(0)[0];
+                sim::spawn([](Cluster *c, common::NodeId promoted)
+                               -> sim::Task<void> {
+                    co_await c->failover(0, promoted);
+                    std::printf("[t=%.2fs] recovery complete; shard 0 "
+                                "serving from node %u\n",
+                                common::toSeconds(c->sim().now()),
+                                promoted);
+                }(&cluster, promoted));
+            });
+    }
+
+    cluster.sim().runUntil(cluster.sim().now() + warmup);
+    fleet.resetMeasurement();
+    cluster.resetStats();
+    cluster.sim().runFor(measure);
+
+    const double seconds = common::toSeconds(measure);
+    const auto latency = fleet.mergedLatency();
+    std::printf("\n=== results (%.0fs measured after %.0fs warmup) ===\n",
+                seconds, common::toSeconds(warmup));
+    std::printf("committed:  %10llu  (%.0f txn/s)\n",
+                static_cast<unsigned long long>(fleet.totalCommits()),
+                static_cast<double>(fleet.totalCommits()) / seconds);
+    std::printf("aborted:    %10llu  (abort rate %.2f%%)\n",
+                static_cast<unsigned long long>(fleet.totalAborts()),
+                fleet.abortRate() * 100.0);
+    std::printf("latency:    mean %.2f ms, p50 %.2f, p95 %.2f, p99 "
+                "%.2f\n",
+                common::toMillis(
+                    static_cast<common::Duration>(latency.mean())),
+                common::toMillis(latency.p50()),
+                common::toMillis(latency.p95()),
+                common::toMillis(latency.p99()));
+    if (cfg.clocks != ClockKind::Perfect)
+        std::printf("avg client clock skew: %.1f us\n",
+                    cluster.avgClientSkew() / 1000.0);
+
+    const auto clients = cluster.clientStats();
+    std::printf("local validations: %llu  (failures %llu)\n",
+                static_cast<unsigned long long>(
+                    clients.counterValue("txn.local_validations")),
+                static_cast<unsigned long long>(clients.counterValue(
+                    "txn.local_validation_fail")));
+
+    if (args.has("dump-stats")) {
+        std::printf("\n--- client stats ---\n%s",
+                    clients.dump("  ").c_str());
+        std::printf("--- server stats ---\n%s",
+                    cluster.serverStats().dump("  ").c_str());
+        std::printf("--- network stats ---\n%s",
+                    cluster.network().stats().dump("  ").c_str());
+    }
+    return 0;
+}
