@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clock_sweep.dir/ablation_clock_sweep.cc.o"
+  "CMakeFiles/ablation_clock_sweep.dir/ablation_clock_sweep.cc.o.d"
+  "ablation_clock_sweep"
+  "ablation_clock_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clock_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pack_timer.dir/ablation_pack_timer.cc.o"
+  "CMakeFiles/ablation_pack_timer.dir/ablation_pack_timer.cc.o.d"
+  "ablation_pack_timer"
+  "ablation_pack_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pack_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ptp_vs_ntp.dir/fig7_ptp_vs_ntp.cc.o"
+  "CMakeFiles/fig7_ptp_vs_ntp.dir/fig7_ptp_vs_ntp.cc.o.d"
+  "fig7_ptp_vs_ntp"
+  "fig7_ptp_vs_ntp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ptp_vs_ntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

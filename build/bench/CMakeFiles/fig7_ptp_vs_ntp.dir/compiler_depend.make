@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_ptp_vs_ntp.
+# This may be replaced when dependencies are built.

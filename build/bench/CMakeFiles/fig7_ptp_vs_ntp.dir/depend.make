@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_ptp_vs_ntp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_centiman.dir/fig9_centiman.cc.o"
+  "CMakeFiles/fig9_centiman.dir/fig9_centiman.cc.o.d"
+  "fig9_centiman"
+  "fig9_centiman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_centiman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_report.dir/skew_report.cc.o"
+  "CMakeFiles/skew_report.dir/skew_report.cc.o.d"
+  "skew_report"
+  "skew_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ftl_perf.dir/table1_ftl_perf.cc.o"
+  "CMakeFiles/table1_ftl_perf.dir/table1_ftl_perf.cc.o.d"
+  "table1_ftl_perf"
+  "table1_ftl_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ftl_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_snapshot.dir/analytics_snapshot.cpp.o"
+  "CMakeFiles/analytics_snapshot.dir/analytics_snapshot.cpp.o.d"
+  "analytics_snapshot"
+  "analytics_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocksync/clock.cc" "src/clocksync/CMakeFiles/milana_clocksync.dir/clock.cc.o" "gcc" "src/clocksync/CMakeFiles/milana_clocksync.dir/clock.cc.o.d"
+  "/root/repo/src/clocksync/sync.cc" "src/clocksync/CMakeFiles/milana_clocksync.dir/sync.cc.o" "gcc" "src/clocksync/CMakeFiles/milana_clocksync.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/milana_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/milana_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

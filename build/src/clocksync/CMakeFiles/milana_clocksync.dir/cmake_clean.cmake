@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_clocksync.dir/clock.cc.o"
+  "CMakeFiles/milana_clocksync.dir/clock.cc.o.d"
+  "CMakeFiles/milana_clocksync.dir/sync.cc.o"
+  "CMakeFiles/milana_clocksync.dir/sync.cc.o.d"
+  "libmilana_clocksync.a"
+  "libmilana_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

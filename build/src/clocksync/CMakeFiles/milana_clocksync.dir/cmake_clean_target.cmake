@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmilana_clocksync.a"
+)

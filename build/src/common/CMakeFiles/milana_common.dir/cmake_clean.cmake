@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_common.dir/histogram.cc.o"
+  "CMakeFiles/milana_common.dir/histogram.cc.o.d"
+  "CMakeFiles/milana_common.dir/logging.cc.o"
+  "CMakeFiles/milana_common.dir/logging.cc.o.d"
+  "CMakeFiles/milana_common.dir/random.cc.o"
+  "CMakeFiles/milana_common.dir/random.cc.o.d"
+  "CMakeFiles/milana_common.dir/stats.cc.o"
+  "CMakeFiles/milana_common.dir/stats.cc.o.d"
+  "CMakeFiles/milana_common.dir/types.cc.o"
+  "CMakeFiles/milana_common.dir/types.cc.o.d"
+  "CMakeFiles/milana_common.dir/zipf.cc.o"
+  "CMakeFiles/milana_common.dir/zipf.cc.o.d"
+  "libmilana_common.a"
+  "libmilana_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

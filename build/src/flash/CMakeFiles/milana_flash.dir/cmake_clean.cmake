@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_flash.dir/ssd.cc.o"
+  "CMakeFiles/milana_flash.dir/ssd.cc.o.d"
+  "libmilana_flash.a"
+  "libmilana_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

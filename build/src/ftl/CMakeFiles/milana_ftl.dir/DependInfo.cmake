@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/dram.cc" "src/ftl/CMakeFiles/milana_ftl.dir/dram.cc.o" "gcc" "src/ftl/CMakeFiles/milana_ftl.dir/dram.cc.o.d"
+  "/root/repo/src/ftl/kv_backend.cc" "src/ftl/CMakeFiles/milana_ftl.dir/kv_backend.cc.o" "gcc" "src/ftl/CMakeFiles/milana_ftl.dir/kv_backend.cc.o.d"
+  "/root/repo/src/ftl/mftl.cc" "src/ftl/CMakeFiles/milana_ftl.dir/mftl.cc.o" "gcc" "src/ftl/CMakeFiles/milana_ftl.dir/mftl.cc.o.d"
+  "/root/repo/src/ftl/pack_log.cc" "src/ftl/CMakeFiles/milana_ftl.dir/pack_log.cc.o" "gcc" "src/ftl/CMakeFiles/milana_ftl.dir/pack_log.cc.o.d"
+  "/root/repo/src/ftl/sftl.cc" "src/ftl/CMakeFiles/milana_ftl.dir/sftl.cc.o" "gcc" "src/ftl/CMakeFiles/milana_ftl.dir/sftl.cc.o.d"
+  "/root/repo/src/ftl/vftl.cc" "src/ftl/CMakeFiles/milana_ftl.dir/vftl.cc.o" "gcc" "src/ftl/CMakeFiles/milana_ftl.dir/vftl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/milana_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/milana_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/milana_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

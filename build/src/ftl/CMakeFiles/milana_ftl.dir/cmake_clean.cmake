@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_ftl.dir/dram.cc.o"
+  "CMakeFiles/milana_ftl.dir/dram.cc.o.d"
+  "CMakeFiles/milana_ftl.dir/kv_backend.cc.o"
+  "CMakeFiles/milana_ftl.dir/kv_backend.cc.o.d"
+  "CMakeFiles/milana_ftl.dir/mftl.cc.o"
+  "CMakeFiles/milana_ftl.dir/mftl.cc.o.d"
+  "CMakeFiles/milana_ftl.dir/pack_log.cc.o"
+  "CMakeFiles/milana_ftl.dir/pack_log.cc.o.d"
+  "CMakeFiles/milana_ftl.dir/sftl.cc.o"
+  "CMakeFiles/milana_ftl.dir/sftl.cc.o.d"
+  "CMakeFiles/milana_ftl.dir/vftl.cc.o"
+  "CMakeFiles/milana_ftl.dir/vftl.cc.o.d"
+  "libmilana_ftl.a"
+  "libmilana_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

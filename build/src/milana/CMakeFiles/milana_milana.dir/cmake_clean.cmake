@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_milana.dir/centiman.cc.o"
+  "CMakeFiles/milana_milana.dir/centiman.cc.o.d"
+  "CMakeFiles/milana_milana.dir/client.cc.o"
+  "CMakeFiles/milana_milana.dir/client.cc.o.d"
+  "CMakeFiles/milana_milana.dir/server.cc.o"
+  "CMakeFiles/milana_milana.dir/server.cc.o.d"
+  "CMakeFiles/milana_milana.dir/txn_table.cc.o"
+  "CMakeFiles/milana_milana.dir/txn_table.cc.o.d"
+  "libmilana_milana.a"
+  "libmilana_milana.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_milana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

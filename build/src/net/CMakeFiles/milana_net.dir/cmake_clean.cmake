@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_net.dir/network.cc.o"
+  "CMakeFiles/milana_net.dir/network.cc.o.d"
+  "libmilana_net.a"
+  "libmilana_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semel/client.cc" "src/semel/CMakeFiles/milana_semel.dir/client.cc.o" "gcc" "src/semel/CMakeFiles/milana_semel.dir/client.cc.o.d"
+  "/root/repo/src/semel/server.cc" "src/semel/CMakeFiles/milana_semel.dir/server.cc.o" "gcc" "src/semel/CMakeFiles/milana_semel.dir/server.cc.o.d"
+  "/root/repo/src/semel/shard_map.cc" "src/semel/CMakeFiles/milana_semel.dir/shard_map.cc.o" "gcc" "src/semel/CMakeFiles/milana_semel.dir/shard_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/milana_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/milana_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocksync/CMakeFiles/milana_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/milana_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/milana_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/milana_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_semel.dir/client.cc.o"
+  "CMakeFiles/milana_semel.dir/client.cc.o.d"
+  "CMakeFiles/milana_semel.dir/server.cc.o"
+  "CMakeFiles/milana_semel.dir/server.cc.o.d"
+  "CMakeFiles/milana_semel.dir/shard_map.cc.o"
+  "CMakeFiles/milana_semel.dir/shard_map.cc.o.d"
+  "libmilana_semel.a"
+  "libmilana_semel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_semel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

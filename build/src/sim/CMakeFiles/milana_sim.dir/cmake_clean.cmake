@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_sim.dir/event_queue.cc.o"
+  "CMakeFiles/milana_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/milana_sim.dir/simulator.cc.o"
+  "CMakeFiles/milana_sim.dir/simulator.cc.o.d"
+  "libmilana_sim.a"
+  "libmilana_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

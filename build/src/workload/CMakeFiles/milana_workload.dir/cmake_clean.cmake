@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_workload.dir/cluster.cc.o"
+  "CMakeFiles/milana_workload.dir/cluster.cc.o.d"
+  "CMakeFiles/milana_workload.dir/micro.cc.o"
+  "CMakeFiles/milana_workload.dir/micro.cc.o.d"
+  "CMakeFiles/milana_workload.dir/retwis.cc.o"
+  "CMakeFiles/milana_workload.dir/retwis.cc.o.d"
+  "libmilana_workload.a"
+  "libmilana_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocksync_test.dir/clocksync_test.cc.o"
+  "CMakeFiles/clocksync_test.dir/clocksync_test.cc.o.d"
+  "clocksync_test"
+  "clocksync_test.pdb"
+  "clocksync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocksync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

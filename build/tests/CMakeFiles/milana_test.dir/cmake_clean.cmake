@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_test.dir/milana_test.cc.o"
+  "CMakeFiles/milana_test.dir/milana_test.cc.o.d"
+  "milana_test"
+  "milana_test.pdb"
+  "milana_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_log_test.dir/pack_log_test.cc.o"
+  "CMakeFiles/pack_log_test.dir/pack_log_test.cc.o.d"
+  "pack_log_test"
+  "pack_log_test.pdb"
+  "pack_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

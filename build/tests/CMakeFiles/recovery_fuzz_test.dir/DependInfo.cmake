@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/recovery_fuzz_test.cc" "tests/CMakeFiles/recovery_fuzz_test.dir/recovery_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/recovery_fuzz_test.dir/recovery_fuzz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/milana_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/milana/CMakeFiles/milana_milana.dir/DependInfo.cmake"
+  "/root/repo/build/src/semel/CMakeFiles/milana_semel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/milana_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/milana_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/milana_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocksync/CMakeFiles/milana_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/milana_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/milana_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semel_test.dir/semel_test.cc.o"
+  "CMakeFiles/semel_test.dir/semel_test.cc.o.d"
+  "semel_test"
+  "semel_test.pdb"
+  "semel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

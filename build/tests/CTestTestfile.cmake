@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/clocksync_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_test[1]_include.cmake")
+include("/root/repo/build/tests/ftl_test[1]_include.cmake")
+include("/root/repo/build/tests/semel_test[1]_include.cmake")
+include("/root/repo/build/tests/milana_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/pack_log_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_fuzz_test[1]_include.cmake")

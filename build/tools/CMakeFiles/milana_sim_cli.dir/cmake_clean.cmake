@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milana_sim_cli.dir/milana_sim.cc.o"
+  "CMakeFiles/milana_sim_cli.dir/milana_sim.cc.o.d"
+  "milana-sim"
+  "milana-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milana_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(milana_sim_smoke "/root/repo/build/tools/milana-sim" "--shards=1" "--replicas=1" "--clients=2" "--keys=500" "--seconds=1" "--clocks=perfect")
+set_tests_properties(milana_sim_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
