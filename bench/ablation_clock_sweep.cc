@@ -35,6 +35,14 @@ main(int argc, char **argv)
     const double alpha = args.getDouble("alpha", 0.7);
     const std::uint64_t seed = args.getInt("seed", 1);
 
+    bench::Report report("ablation_clock_sweep");
+    report.params()
+        .set("keys", keys)
+        .set("alpha", alpha)
+        .set("warmup_s", common::toSeconds(warmup))
+        .set("seconds", common::toSeconds(measure))
+        .set("seed", seed);
+
     bench::printHeader(
         "Ablation: abort rate vs clock discipline (Retwis, alpha "
         "fixed)\nskew spans ~150ns (DTP) to ~1.5ms (NTP)");
@@ -78,6 +86,11 @@ main(int argc, char **argv)
         std::printf("%9s | %12.2f | %9.2f%% | %9.2f%%\n",
                     workload::clockName(clocks), skew, aborts[0],
                     aborts[1]);
+        report.addRow()
+            .set("clocks", workload::clockName(clocks))
+            .set("avg_skew_us", skew)
+            .set("dram_abort_pct", aborts[0])
+            .set("mftl_abort_pct", aborts[1]);
     }
     std::printf(
         "\nShape: disciplines whose skew sits below the write window\n"
@@ -85,5 +98,6 @@ main(int argc, char **argv)
         "clocks — their aborts are genuine OCC conflicts; NTP's\n"
         "millisecond skew adds a large spurious-abort component on\n"
         "top (Figure 1's model).\n");
+    report.write(args);
     return 0;
 }

@@ -29,6 +29,12 @@ main(int argc, char **argv)
     const auto warmup = args.getInt("warmup", 1) * kSecond;
     const auto measure = args.getInt("seconds", 2) * kSecond;
 
+    bench::Report report("ablation_pack_timer");
+    report.params()
+        .set("keys", keys)
+        .set("warmup_s", common::toSeconds(warmup))
+        .set("seconds", common::toSeconds(measure));
+
     bench::printHeader(
         "Ablation: pack-timer sweep (MFTL, 95% gets — sparse writes)\n"
         "put latency vs page-fill efficiency");
@@ -72,6 +78,18 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         mftl.stats().counterValue(
                             "mftl.pages_written")));
+        report.addRow()
+            .set("pack_timeout_ms", common::toMillis(timeout))
+            .set("kreq_per_sec", micro.throughput(measure) / 1000.0)
+            .set("get_latency_us",
+                 toMicros(static_cast<common::Duration>(
+                     micro.getLatency().mean())))
+            .set("put_latency_us",
+                 toMicros(static_cast<common::Duration>(
+                     micro.putLatency().mean())))
+            .set("pages_written",
+                 mftl.stats().counterValue("mftl.pages_written"));
     }
+    report.write(args);
     return 0;
 }

@@ -7,11 +7,24 @@
  * Paper shape: with multi-versioning, tardy read-only transactions
  * read from a consistent snapshot and commit, so MFTL's abort rate
  * stays well below SFTL's, and the gap widens with contention.
+ *
+ * Extra flags beyond the common set:
+ *   --trace=PATH          rerun one cell with tracing on and dump the
+ *                         event log (.csv extension = CSV, else JSON)
+ *   --trace-alpha=F       traced cell contention (default 0.8)
+ *   --trace-clients=N     traced cell client count (default 16)
+ *   --trace-capacity=N    trace ring size in events (default 262144)
+ * The traced cell's full client/server StatSets are embedded in the
+ * --json report so tools/trace_report output can be cross-checked
+ * against the txn.abort.<reason> counters.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "bench_util.hh"
+#include "common/trace.hh"
 #include "workload/cluster.hh"
 #include "workload/retwis.hh"
 
@@ -25,10 +38,18 @@ using workload::RetwisWorkload;
 
 namespace {
 
-double
+struct CellResult
+{
+    double abortPct = 0.0;
+    common::StatSet clientStats;
+    common::StatSet serverStats;
+};
+
+CellResult
 runCell(BackendKind backend, std::uint32_t clients, double alpha,
         std::uint64_t keys, common::Duration warmup,
-        common::Duration measure, std::uint64_t seed)
+        common::Duration measure, std::uint64_t seed,
+        common::TraceLog *trace = nullptr)
 {
     ClusterConfig cfg;
     cfg.numShards = 1;
@@ -38,6 +59,7 @@ runCell(BackendKind backend, std::uint32_t clients, double alpha,
     cfg.clocks = ClockKind::Perfect; // eliminates clock skew
     cfg.numKeys = keys;
     cfg.seed = seed;
+    cfg.trace = trace;
     // Same-machine "network": IPC-scale latency.
     cfg.net.oneWayMean = 5 * common::kMicrosecond;
     cfg.net.oneWaySigma = 1 * common::kMicrosecond;
@@ -56,8 +78,14 @@ runCell(BackendKind backend, std::uint32_t clients, double alpha,
 
     cluster.sim().runUntil(cluster.sim().now() + warmup);
     fleet.resetMeasurement();
+    cluster.resetStats(); // align counters with the measured window
     cluster.sim().runFor(measure);
-    return fleet.abortRate() * 100.0;
+
+    CellResult result;
+    result.abortPct = fleet.abortRate() * 100.0;
+    result.clientStats = cluster.clientStats();
+    result.serverStats = cluster.serverStats();
+    return result;
 }
 
 } // namespace
@@ -73,6 +101,14 @@ main(int argc, char **argv)
         args.getInt("seconds", args.has("full") ? 60 : 4) * kSecond;
     const std::uint64_t seed = args.getInt("seed", 1);
 
+    bench::Report report("fig6_abort_vs_clients");
+    report.params()
+        .set("keys", keys)
+        .set("warmup_s", common::toSeconds(warmup))
+        .set("seconds", common::toSeconds(measure))
+        .set("seed", seed)
+        .set("full", args.has("full"));
+
     bench::printHeader(
         "Figure 6: Transaction abort rate (%) vs number of clients\n"
         "single node, zero clock skew, Retwis; SFTL = single-version,\n"
@@ -85,18 +121,65 @@ main(int argc, char **argv)
         for (std::uint32_t clients : {4u, 8u, 16u, 32u}) {
             const double sftl =
                 runCell(BackendKind::SingleVersion, clients, alpha,
-                        keys, warmup, measure, seed);
+                        keys, warmup, measure, seed)
+                    .abortPct;
             const double mftl = runCell(BackendKind::Mftl, clients,
                                         alpha, keys, warmup, measure,
-                                        seed);
+                                        seed)
+                                    .abortPct;
             std::printf("%7.2f %9u | %7.2f%% %7.2f%% | %8.2f\n", alpha,
                         clients, sftl, mftl,
                         sftl > 0 ? mftl / sftl : 0.0);
+            report.addRow()
+                .set("alpha", alpha)
+                .set("clients", clients)
+                .set("sftl_abort_pct", sftl)
+                .set("mftl_abort_pct", mftl);
         }
     }
     std::printf(
         "\nPaper (Figure 6): multi-versioning cuts abort rates because\n"
         "tardy read-only transactions commit from a snapshot; the gap\n"
         "grows with contention and client count.\n");
+
+    const std::string trace_path = args.getString("trace", "");
+    if (!trace_path.empty()) {
+        const double trace_alpha = args.getDouble("trace-alpha", 0.8);
+        const auto trace_clients = static_cast<std::uint32_t>(
+            args.getInt("trace-clients", 16));
+        common::TraceLog log(static_cast<std::size_t>(
+            args.getInt("trace-capacity", 262'144)));
+        std::printf("\ntracing one MFTL cell (alpha=%.2f, %u clients)"
+                    "...\n",
+                    trace_alpha, trace_clients);
+        const CellResult cell =
+            runCell(BackendKind::Mftl, trace_clients, trace_alpha, keys,
+                    warmup, measure, seed, &log);
+        std::ofstream os(trace_path);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        if (trace_path.size() >= 4 &&
+            trace_path.compare(trace_path.size() - 4, 4, ".csv") == 0)
+            log.writeCsv(os);
+        else
+            log.writeJson(os);
+        std::printf("wrote %s (%zu events kept, %llu dropped)\n",
+                    trace_path.c_str(), log.size(),
+                    static_cast<unsigned long long>(log.dropped()));
+        report.params()
+            .set("trace_path", trace_path)
+            .set("trace_alpha", trace_alpha)
+            .set("trace_clients", trace_clients)
+            .set("trace_abort_pct", cell.abortPct);
+        report.addStats("traced_cell.client", cell.clientStats,
+                        "client.");
+        report.addStats("traced_cell.server", cell.serverStats,
+                        "server.");
+    }
+
+    report.write(args);
     return 0;
 }

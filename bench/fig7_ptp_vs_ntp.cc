@@ -90,6 +90,15 @@ main(int argc, char **argv)
         args.getInt("seconds", args.has("full") ? 60 : 4) * kSecond;
     const std::uint64_t seed = args.getInt("seed", 1);
 
+    bench::Report report("fig7_ptp_vs_ntp");
+    report.params()
+        .set("keys", keys)
+        .set("clients", clients)
+        .set("warmup_s", common::toSeconds(warmup))
+        .set("seconds", common::toSeconds(measure))
+        .set("seed", seed)
+        .set("full", args.has("full"));
+
     bench::printHeader(
         "Figure 7: PTP vs NTP — MILANA transaction abort rates (%)\n"
         "1 primary + 2 backups, 20 Retwis instances, "
@@ -117,6 +126,13 @@ main(int argc, char **argv)
             cells[b][1] = ntp.abortPct;
             skew_ptp = ptp.skewUs;
             skew_ntp = ntp.skewUs;
+            report.addRow()
+                .set("alpha", alpha)
+                .set("backend", workload::backendName(backend))
+                .set("ptp_abort_pct", ptp.abortPct)
+                .set("ntp_abort_pct", ntp.abortPct)
+                .set("ptp_skew_us", ptp.skewUs)
+                .set("ntp_skew_us", ntp.skewUs);
             ++b;
         }
         std::printf(
@@ -132,5 +148,6 @@ main(int argc, char **argv)
     std::printf(
         "Paper (Figure 7): PTP's tighter sync lowers abort rates (up\n"
         "to 43%%); NTP hurts most on the fastest backend (DRAM).\n");
+    report.write(args);
     return 0;
 }

@@ -90,6 +90,14 @@ main(int argc, char **argv)
         args.getInt("seconds", args.has("full") ? 60 : 4) * kSecond;
     const std::uint64_t seed = args.getInt("seed", 1);
 
+    bench::Report report("fig8_latency_throughput");
+    report.params()
+        .set("keys", keys)
+        .set("warmup_s", common::toSeconds(warmup))
+        .set("seconds", common::toSeconds(measure))
+        .set("seed", seed)
+        .set("full", args.has("full"));
+
     bench::printHeader(
         "Figure 8: Retwis transaction latency vs throughput\n"
         "3 shards x 3 replicas, 75% read-only mix, PTP; LV = "
@@ -108,6 +116,12 @@ main(int argc, char **argv)
                             workload::backendName(backend),
                             lv ? "on" : "off", clients, cell.txnPerSec,
                             cell.latencyMs);
+                report.addRow()
+                    .set("backend", workload::backendName(backend))
+                    .set("local_validation", lv)
+                    .set("clients", clients)
+                    .set("txn_per_sec", cell.txnPerSec)
+                    .set("latency_ms", cell.latencyMs);
             }
         }
     }
@@ -115,5 +129,6 @@ main(int argc, char **argv)
         "\nPaper (Figure 8): local validation: up to +55%% throughput\n"
         "and -35%% latency; MFTL ~ +15%% throughput vs VFTL; VFTL w/ LV\n"
         "outperforms MFTL w/o LV.\n");
+    report.write(args);
     return 0;
 }

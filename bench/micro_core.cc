@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common/random.hh"
 #include "common/zipf.hh"
 #include "ftl/version_chain.hh"
@@ -135,4 +138,35 @@ BENCHMARK(BM_TxnTableInsertResolve);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so this harness shares the suite's uniform --json=PATH
+ * flag: it is rewritten into google-benchmark's --benchmark_out
+ * flags, so the output file follows *google-benchmark's* JSON schema
+ * rather than milana-bench-v1 (see OBSERVABILITY.md).
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> rewritten;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0) {
+            rewritten.push_back("--benchmark_out=" + arg.substr(7));
+            rewritten.push_back("--benchmark_out_format=json");
+        } else {
+            rewritten.push_back(arg);
+        }
+    }
+    std::vector<char *> argv2;
+    argv2.reserve(rewritten.size());
+    for (auto &arg : rewritten)
+        argv2.push_back(arg.data());
+    int argc2 = static_cast<int>(argv2.size());
+
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

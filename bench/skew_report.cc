@@ -26,6 +26,12 @@ main(int argc, char **argv)
         static_cast<int>(args.getInt("seconds", 120));
     const std::uint64_t seed = args.getInt("seed", 42);
 
+    bench::Report report("skew_report");
+    report.params()
+        .set("nodes", nodes)
+        .set("seconds", seconds)
+        .set("seed", seed);
+
     bench::printHeader(
         "Clock synchronization: realized pairwise skew (section 5.2)");
     std::printf("%10s | %12s | %12s | %10s\n", "discipline",
@@ -57,6 +63,15 @@ main(int argc, char **argv)
                     static_cast<double>(ensemble.maxPairwiseSkew()) /
                         1000.0,
                     row.paper);
+        report.addRow()
+            .set("discipline", row.cfg.name)
+            .set("avg_skew_us", ensemble.avgPairwiseSkew() / 1000.0)
+            .set("max_skew_us",
+                 static_cast<double>(ensemble.maxPairwiseSkew()) /
+                     1000.0)
+            .set("exchanges",
+                 ensemble.stats().counterValue("clocksync.exchanges"));
     }
+    report.write(args);
     return 0;
 }

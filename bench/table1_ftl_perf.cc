@@ -104,6 +104,15 @@ main(int argc, char **argv)
     const std::uint32_t workers =
         static_cast<std::uint32_t>(args.getInt("workers", 64));
 
+    bench::Report report("table1_ftl_perf");
+    report.params()
+        .set("keys", keys)
+        .set("workers", workers)
+        .set("warmup_s", common::toSeconds(warmup))
+        .set("seconds", common::toSeconds(measure))
+        .set("seed", seed)
+        .set("full", args.has("full"));
+
     bench::printHeader(
         "Table 1: Single SSD Multi-version FTL Performance\n"
         "(throughput in kilo-requests/sec; latency in microseconds)");
@@ -123,10 +132,19 @@ main(int argc, char **argv)
             get_pct, vftl.kReqPerSec, mftl.kReqPerSec,
             vftl.getLatencyUs, mftl.getLatencyUs, vftl.putLatencyUs,
             mftl.putLatencyUs);
+        report.addRow()
+            .set("get_pct", get_pct)
+            .set("vftl_kreq_per_sec", vftl.kReqPerSec)
+            .set("mftl_kreq_per_sec", mftl.kReqPerSec)
+            .set("vftl_get_latency_us", vftl.getLatencyUs)
+            .set("mftl_get_latency_us", mftl.getLatencyUs)
+            .set("vftl_put_latency_us", vftl.putLatencyUs)
+            .set("mftl_put_latency_us", mftl.putLatencyUs);
     }
     std::printf(
         "\nPaper (Table 1): MFTL up to +45%% throughput and up to 7x\n"
         "lower GET latency on read-heavy mixes; VFTL lower PUT latency\n"
         "(GC remaps shorten its pack wait) and ahead at 25%% gets.\n");
+    report.write(args);
     return 0;
 }

@@ -133,6 +133,15 @@ SyncAgent::performExchange()
 
     clock_.applyCorrection(
         static_cast<Duration>(std::llround(measured)), cfg_.gain);
+
+    const auto measured_ns =
+        static_cast<std::int64_t>(std::llround(measured));
+    if (stats_ != nullptr) {
+        stats_->counter("clocksync.exchanges").inc();
+        stats_->histogram("clocksync.offset_abs")
+            .record(std::abs(measured_ns));
+    }
+    trace_.instant("clocksync.sync.exchange", cfg_.name, measured_ns);
 }
 
 sim::Task<void>
@@ -162,6 +171,7 @@ ClockEnsemble::ClockEnsemble(sim::Simulator &sim, std::size_t n,
         auto clock = std::make_unique<DriftClock>(sim_, params, rng);
         agents_.push_back(std::make_unique<SyncAgent>(
             sim_, *clock, cfg_, rng.fork()));
+        agents_.back()->setStats(&stats_);
         clocks_.push_back(std::move(clock));
     }
 }

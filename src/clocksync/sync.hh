@@ -33,6 +33,7 @@
 #include "common/histogram.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "sim/task.hh"
 
 namespace clocksync {
@@ -87,12 +88,21 @@ class SyncAgent
     /** One exchange (also used directly by unit tests). */
     void performExchange();
 
+    /** Record per-exchange metrics into @p stats (shared across an
+     *  ensemble; the sim is single-threaded). */
+    void setStats(common::StatSet *stats) { stats_ = stats; }
+
+    /** Trace emission handle; disabled until the cluster attaches it. */
+    common::Tracer &tracer() { return trace_; }
+
   private:
     sim::Simulator &sim_;
     DriftClock &clock_;
     SyncConfig cfg_;
     common::Rng rng_;
     bool havePrevious_ = false;
+    common::StatSet *stats_ = nullptr;
+    common::Tracer trace_;
 };
 
 /**
@@ -116,7 +126,11 @@ class ClockEnsemble
     void start();
 
     Clock &clock(std::size_t i) { return *clocks_[i]; }
+    SyncAgent &agent(std::size_t i) { return *agents_[i]; }
     std::size_t size() const { return clocks_.size(); }
+
+    /** Exchange counters/offset histograms of all member agents. */
+    const common::StatSet &stats() const { return stats_; }
 
     /** Mean absolute pairwise skew observed so far. */
     double avgPairwiseSkew() const;
@@ -135,6 +149,7 @@ class ClockEnsemble
     std::vector<std::unique_ptr<SyncAgent>> agents_;
     common::Histogram skewHist_;
     Duration maxSkew_ = 0;
+    common::StatSet stats_;
 };
 
 } // namespace clocksync

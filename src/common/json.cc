@@ -1,0 +1,425 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace common {
+
+// ------------------------------------------------------------ writing
+
+void
+jsonEscape(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+JsonWriter::separate()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (stack_.empty())
+        return;
+    if (!stack_.back().first)
+        os_ << (stack_.back().array ? ", " : ",\n");
+    stack_.back().first = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    stack_.push_back(Level{false, true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    stack_.pop_back();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    stack_.push_back(Level{true, true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    stack_.pop_back();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    separate();
+    if (!stack_.empty() && !stack_.back().array)
+        os_ << "\n";
+    jsonEscape(os_, name);
+    os_ << ": ";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    jsonEscape(os_, v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        os_ << "null"; // JSON has no NaN/Inf
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    os_ << "null";
+    return *this;
+}
+
+// ------------------------------------------------------------ parsing
+
+std::int64_t
+JsonValue::asInt() const
+{
+    if (kind_ == Kind::Int)
+        return int_;
+    if (kind_ == Kind::Double)
+        return static_cast<std::int64_t>(double_);
+    return 0;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ == Kind::Double)
+        return double_;
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    return 0.0;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &name) const
+{
+    static const JsonValue null_value;
+    auto it = object_.find(name);
+    return it == object_.end() ? null_value : it->second;
+}
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parse(std::string *error)
+    {
+        JsonValue v;
+        if (!parseValue(v) || (skipSpace(), pos_ != text_.size())) {
+            if (error) {
+                std::ostringstream os;
+                os << "JSON parse error at offset " << pos_ << ": "
+                   << (message_.empty() ? "trailing data" : message_);
+                *error = os.str();
+            }
+            return JsonValue();
+        }
+        return v;
+    }
+
+  private:
+    bool
+    fail(const char *msg)
+    {
+        if (message_.empty())
+            message_ = msg;
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.string_);
+        }
+        if (literal("true")) {
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            return true;
+        }
+        if (literal("false")) {
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            return true;
+        }
+        if (literal("null")) {
+            out.kind_ = JsonValue::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        ++pos_; // '{'
+        out.kind_ = JsonValue::Kind::Object;
+        skipSpace();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipSpace();
+            std::string name;
+            if (pos_ >= text_.size() || text_[pos_] != '"' ||
+                !parseString(name))
+                return fail("expected member name");
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            out.object_.emplace(std::move(name), std::move(member));
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        ++pos_; // '['
+        out.kind_ = JsonValue::Kind::Array;
+        skipSpace();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue item;
+            if (!parseValue(item))
+                return false;
+            out.array_.push_back(std::move(item));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    auto res = std::from_chars(
+                        text_.data() + pos_, text_.data() + pos_ + 4,
+                        code, 16);
+                    if (res.ec != std::errc() ||
+                        res.ptr != text_.data() + pos_ + 4)
+                        return fail("bad \\u escape");
+                    pos_ += 4;
+                    // Exporters only escape control characters, so a
+                    // Latin-1 reconstruction suffices here.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string_view token = text_.substr(start, pos_ - start);
+        if (integral) {
+            std::int64_t v = 0;
+            auto res = std::from_chars(token.data(),
+                                       token.data() + token.size(), v);
+            if (res.ec == std::errc() &&
+                res.ptr == token.data() + token.size()) {
+                out.kind_ = JsonValue::Kind::Int;
+                out.int_ = v;
+                out.double_ = static_cast<double>(v);
+                return true;
+            }
+        }
+        out.kind_ = JsonValue::Kind::Double;
+        out.double_ = std::strtod(std::string(token).c_str(), nullptr);
+        out.int_ = static_cast<std::int64_t>(out.double_);
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string message_;
+};
+
+JsonValue
+JsonValue::parse(std::string_view text, std::string *error)
+{
+    return JsonParser(text).parse(error);
+}
+
+} // namespace common

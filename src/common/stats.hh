@@ -11,12 +11,15 @@
 #define COMMON_STATS_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 
 #include "common/histogram.hh"
 
 namespace common {
+
+class JsonWriter;
 
 /** A monotonically increasing named counter. */
 class Counter
@@ -45,6 +48,15 @@ class StatSet
     Counter &counter(const std::string &name) { return counters_[name]; }
     Histogram &histogram(const std::string &name) { return histograms_[name]; }
 
+    /**
+     * Read-only lookup that never creates: exporters and report code
+     * must use these (or the const maps) so serializing a set cannot
+     * grow it — counter()/histogram() are create-on-read by design.
+     * @return nullptr when the name was never recorded.
+     */
+    const Counter *findCounter(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
     const std::map<std::string, Counter> &counters() const
     {
         return counters_;
@@ -64,6 +76,25 @@ class StatSet
 
     /** Multi-line human-readable dump. */
     std::string dump(const std::string &prefix = "") const;
+
+    /**
+     * Emit this set as one JSON object value on an open writer:
+     * `{"counters": {...}, "histograms": {name: {count,min,max,mean,
+     * p50,p90,p95,p99,p999}, ...}}`. @p prefix (e.g. "client.") is
+     * prepended to every metric name, producing the fully-qualified
+     * `layer.component.metric` names of OBSERVABILITY.md.
+     */
+    void toJson(JsonWriter &w, const std::string &prefix = "") const;
+
+    /** Standalone JSON document (wraps toJson). */
+    void writeJson(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * CSV export: `metric,value` per counter and
+     * `metric.{count,min,max,mean,p50,p90,p95,p99,p999},value` per
+     * histogram field.
+     */
+    void writeCsv(std::ostream &os, const std::string &prefix = "") const;
 
   private:
     std::map<std::string, Counter> counters_;

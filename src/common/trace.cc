@@ -1,0 +1,193 @@
+#include "common/trace.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+
+namespace common {
+
+const char *
+traceKindCode(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::Instant: return "I";
+      case TraceKind::SpanBegin: return "B";
+      case TraceKind::SpanEnd: return "E";
+    }
+    return "?";
+}
+
+TraceLog::TraceLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1))
+{
+    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+TraceLog::append(TraceEvent event)
+{
+    event.seq = appended_++;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+        return;
+    }
+    // Ring: slot index is seq modulo capacity, so the oldest surviving
+    // event is always the one this append evicts.
+    ring_[static_cast<std::size_t>(event.seq % capacity_)] =
+        std::move(event);
+}
+
+std::size_t
+TraceLog::size() const
+{
+    return ring_.size();
+}
+
+std::uint64_t
+TraceLog::dropped() const
+{
+    return appended_ - ring_.size();
+}
+
+void
+TraceLog::clear()
+{
+    ring_.clear();
+    appended_ = 0; // seq restarts; span ids stay unique across clears
+}
+
+std::vector<TraceEvent>
+TraceLog::snapshot() const
+{
+    std::vector<TraceEvent> events = ring_;
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.seq < b.seq;
+              });
+    return events;
+}
+
+void
+TraceLog::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("milana-trace-v1");
+    w.key("capacity").value(static_cast<std::uint64_t>(capacity_));
+    w.key("recorded").value(recorded());
+    w.key("dropped").value(dropped());
+    w.key("events").beginArray();
+    for (const TraceEvent &e : snapshot()) {
+        os << "\n";
+        w.beginObject();
+        w.key("seq").value(e.seq);
+        w.key("t").value(e.trueTime);
+        w.key("lt").value(e.localTime);
+        w.key("node").value(e.node);
+        w.key("kind").value(traceKindCode(e.kind));
+        w.key("span").value(e.span);
+        w.key("name").value(e.name);
+        if (!e.tag.empty())
+            w.key("tag").value(e.tag);
+        if (e.arg != 0)
+            w.key("arg").value(e.arg);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+TraceLog::writeCsv(std::ostream &os) const
+{
+    os << "seq,true_ns,local_ns,node,kind,span,name,tag,arg\n";
+    for (const TraceEvent &e : snapshot()) {
+        // Names and tags are identifier-like by convention; commas in
+        // them would corrupt the CSV, so map them to ';'.
+        std::string name = e.name;
+        std::string tag = e.tag;
+        std::replace(name.begin(), name.end(), ',', ';');
+        std::replace(tag.begin(), tag.end(), ',', ';');
+        os << e.seq << ',' << e.trueTime << ',' << e.localTime << ','
+           << e.node << ',' << traceKindCode(e.kind) << ',' << e.span
+           << ',' << name << ',' << tag << ',' << e.arg << "\n";
+    }
+}
+
+void
+Tracer::attach(TraceLog &log, NodeId node, TimeFn true_now,
+               TimeFn local_now)
+{
+    log_ = &log;
+    node_ = node;
+    trueNow_ = std::move(true_now);
+    localNow_ = std::move(local_now);
+}
+
+void
+Tracer::emit(TraceKind kind, std::uint64_t span, std::string_view name,
+             std::string_view tag, std::int64_t arg)
+{
+    TraceEvent e;
+    e.trueTime = trueNow_ ? trueNow_() : 0;
+    e.localTime = localNow_ ? localNow_() : e.trueTime;
+    e.node = node_;
+    e.kind = kind;
+    e.span = span;
+    e.name.assign(name);
+    e.tag.assign(tag);
+    e.arg = arg;
+    log_->append(std::move(e));
+}
+
+void
+Tracer::instant(std::string_view name, std::string_view tag,
+                std::int64_t arg)
+{
+    if (!enabled())
+        return;
+    emit(TraceKind::Instant, 0, name, tag, arg);
+}
+
+std::uint64_t
+Tracer::begin(std::string_view name, std::string_view tag,
+              std::int64_t arg)
+{
+    if (!enabled())
+        return 0;
+    const std::uint64_t span = log_->nextSpanId();
+    emit(TraceKind::SpanBegin, span, name, tag, arg);
+    return span;
+}
+
+void
+Tracer::end(std::uint64_t span, std::string_view name,
+            std::string_view tag, std::int64_t arg)
+{
+    if (!enabled() || span == 0)
+        return;
+    emit(TraceKind::SpanEnd, span, name, tag, arg);
+}
+
+ScopedSpan::ScopedSpan(Tracer &tracer, std::string_view name,
+                       std::string_view tag)
+    : tracer_(tracer), name_(name), tag_(tag)
+{
+    if (!tracer_.enabled()) {
+        done_ = true;
+        return;
+    }
+    span_ = tracer_.begin(name_, tag_);
+}
+
+void
+ScopedSpan::finish()
+{
+    if (done_)
+        return;
+    done_ = true;
+    tracer_.end(span_, name_, tag_, arg_);
+}
+
+} // namespace common

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Simulated-time tracing: typed span/event records stamped with BOTH
+ * the simulator's TrueTime and the emitting node's (possibly skewed)
+ * LocalTime, so a report can attribute latency and aborts to clock
+ * skew vs. device queueing vs. validation after the fact.
+ *
+ * Three pieces:
+ *
+ *  - TraceLog: a bounded ring buffer of TraceEvent records owned by
+ *    the harness. When full, the oldest events are overwritten and
+ *    counted in dropped(); a trace is a *recent window*, never an
+ *    unbounded allocation.
+ *  - Tracer: a cheap per-component handle (node id + clock accessors
+ *    + TraceLog pointer). A default-constructed Tracer is disabled and
+ *    every emit is a no-op, so instrumentation costs one branch when
+ *    tracing is off.
+ *  - ScopedSpan: RAII begin/end pair; the tag set before destruction
+ *    rides on the end event (e.g. an abort reason discovered mid-span).
+ *
+ * Event names follow the metric naming convention documented in
+ * OBSERVABILITY.md: `layer.component.event`, e.g.
+ * `milana.txn.commit`, `flash.ssd.op`, `clocksync.sync.exchange`.
+ */
+
+#ifndef COMMON_TRACE_HH
+#define COMMON_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace common {
+
+enum class TraceKind : std::uint8_t
+{
+    Instant,
+    SpanBegin,
+    SpanEnd,
+};
+
+/** One-letter code used by the JSON/CSV exports ("I", "B", "E"). */
+const char *traceKindCode(TraceKind kind);
+
+struct TraceEvent
+{
+    /** Global append order; breaks ties between identical timestamps
+     *  (the simulator processes many events at the same instant). */
+    std::uint64_t seq = 0;
+    /** Simulator TrueTime at emission (ns). */
+    Time trueTime = 0;
+    /** The emitting node's LocalTime (ns) — differs from trueTime by
+     *  the node's current clock error. */
+    Time localTime = 0;
+    NodeId node = 0;
+    TraceKind kind = TraceKind::Instant;
+    /** Pairs SpanBegin/SpanEnd records; 0 for instants. */
+    std::uint64_t span = 0;
+    /** `layer.component.event` (see OBSERVABILITY.md). */
+    std::string name;
+    /** Free-form qualifier: abort reason, op kind, vote... */
+    std::string tag;
+    /** Free numeric payload: channel index, offset (ns), count... */
+    std::int64_t arg = 0;
+};
+
+class TraceLog
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    explicit TraceLog(std::size_t capacity = kDefaultCapacity);
+
+    /** Allocate a fresh span id (never 0). */
+    std::uint64_t nextSpanId() { return nextSpan_++; }
+
+    /** Record an event; stamps seq, evicts the oldest when full. */
+    void append(TraceEvent event);
+
+    std::size_t capacity() const { return capacity_; }
+    /** Events currently held (<= capacity). */
+    std::size_t size() const;
+    /** Total events ever appended, including evicted ones. */
+    std::uint64_t recorded() const { return appended_; }
+    /** Events lost to ring-buffer eviction. */
+    std::uint64_t dropped() const;
+
+    void clear();
+
+    /** Surviving events, oldest first (ascending seq). */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Full trace document: schema header + events array. */
+    void writeJson(std::ostream &os) const;
+    /** One header line + one line per event. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t capacity_;
+    std::uint64_t appended_ = 0;
+    std::uint64_t nextSpan_ = 1;
+};
+
+/**
+ * Per-component emission handle. Components own one by value; the
+ * cluster builder (or a test) arms it with attach(). Clock accessors
+ * are std::function so common/ need not depend on sim/ or clocksync/.
+ */
+class Tracer
+{
+  public:
+    using TimeFn = std::function<Time()>;
+
+    Tracer() = default; ///< disabled: all emits are no-ops
+
+    void attach(TraceLog &log, NodeId node, TimeFn true_now,
+                TimeFn local_now);
+
+    bool enabled() const { return log_ != nullptr; }
+
+    void instant(std::string_view name, std::string_view tag = {},
+                 std::int64_t arg = 0);
+
+    /** Emit SpanBegin; returns the span id (0 when disabled). */
+    std::uint64_t begin(std::string_view name, std::string_view tag = {},
+                        std::int64_t arg = 0);
+    void end(std::uint64_t span, std::string_view name,
+             std::string_view tag = {}, std::int64_t arg = 0);
+
+  private:
+    void emit(TraceKind kind, std::uint64_t span, std::string_view name,
+              std::string_view tag, std::int64_t arg);
+
+    TraceLog *log_ = nullptr;
+    NodeId node_ = 0;
+    TimeFn trueNow_;
+    TimeFn localNow_;
+};
+
+/**
+ * RAII span: begin at construction, end at destruction (or finish()).
+ * The tag/arg set before the end ride on the SpanEnd event, so a
+ * result discovered mid-span (abort reason, vote) labels the span.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Tracer &tracer, std::string_view name,
+               std::string_view tag = {});
+    ~ScopedSpan() { finish(); }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    void setTag(std::string_view tag) { tag_ = tag; }
+    void setArg(std::int64_t arg) { arg_ = arg; }
+
+    /** Emit the SpanEnd now; later calls (and destruction) no-op. */
+    void finish();
+
+  private:
+    Tracer &tracer_;
+    std::string name_;
+    std::string tag_;
+    std::int64_t arg_ = 0;
+    std::uint64_t span_ = 0;
+    bool done_ = false;
+};
+
+} // namespace common
+
+#endif // COMMON_TRACE_HH

@@ -18,16 +18,29 @@ SsdDevice::SsdDevice(sim::Simulator &sim, const Geometry &geometry)
         b.states.assign(geometry.pagesPerBlock, PageState::Erased);
     }
     channels_.reserve(geometry.numChannels);
-    for (std::uint32_t c = 0; c < geometry.numChannels; ++c)
+    channelOps_.reserve(geometry.numChannels);
+    for (std::uint32_t c = 0; c < geometry.numChannels; ++c) {
         channels_.push_back(std::make_unique<sim::Mutex>(sim));
+        channelOps_.push_back(
+            &stats_.counter("ssd.channel." + std::to_string(c) + ".ops"));
+    }
 }
 
 sim::Task<void>
-SsdDevice::service(std::uint32_t block, common::Duration latency)
+SsdDevice::service(std::uint32_t block, common::Duration latency,
+                   const char *op)
 {
+    const std::uint32_t chan = block % geometry_.numChannels;
+    common::ScopedSpan span(trace_, "flash.ssd.op", op);
+    span.setArg(chan);
+    const common::Time entered = sim_.now();
     co_await queue_.acquire();
-    auto &channel = *channels_[block % geometry_.numChannels];
+    auto &channel = *channels_[chan];
     co_await channel.lock();
+    // Time from arrival to channel grant: the queueing delay Table 1's
+    // GC-interference numbers come from.
+    stats_.histogram("ssd.queue_wait").record(sim_.now() - entered);
+    channelOps_[chan]->inc();
     co_await sim::sleepFor(sim_, latency);
     channel.unlock();
     queue_.release();
@@ -43,7 +56,7 @@ SsdDevice::readPage(PageAddr addr)
     if (block.states[addr.page] != PageState::Programmed)
         PANIC("read of unprogrammed page " << addr.block << "/"
                                            << addr.page);
-    co_await service(addr.block, geometry_.readLatency);
+    co_await service(addr.block, geometry_.readLatency, "read");
     stats_.counter("ssd.reads").inc();
     co_return &block.pages[addr.page];
 }
@@ -72,7 +85,7 @@ SsdDevice::programPage(PageAddr addr, PageData data)
     block.nextProgramPage = addr.page + 1;
     block.pages[addr.page] = std::move(data);
 
-    co_await service(addr.block, geometry_.writeLatency);
+    co_await service(addr.block, geometry_.writeLatency, "program");
     stats_.counter("ssd.programs").inc();
 }
 
@@ -85,7 +98,7 @@ SsdDevice::eraseBlock(std::uint32_t block_index)
     while (pins_[block_index] != 0)
         co_await sim::sleepFor(sim_, 10 * common::kMicrosecond);
 
-    co_await service(block_index, geometry_.eraseLatency);
+    co_await service(block_index, geometry_.eraseLatency, "erase");
 
     auto &block = blocks_[block_index];
     for (auto &p : block.pages)

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "flash/geometry.hh"
 #include "sim/future.hh"
@@ -123,6 +124,9 @@ class SsdDevice
     common::StatSet &stats() { return stats_; }
     const common::StatSet &stats() const { return stats_; }
 
+    /** Trace emission handle; disabled until the cluster attaches it. */
+    common::Tracer &tracer() { return trace_; }
+
   private:
     struct Block
     {
@@ -132,8 +136,10 @@ class SsdDevice
         std::uint32_t eraseCount = 0;
     };
 
-    /** Acquire queue slot + channel, wait the service time. */
-    sim::Task<void> service(std::uint32_t block, common::Duration latency);
+    /** Acquire queue slot + channel, wait the service time. @p op
+     *  ("read" | "program" | "erase") labels the trace span. */
+    sim::Task<void> service(std::uint32_t block, common::Duration latency,
+                            const char *op);
 
     sim::Simulator &sim_;
     Geometry geometry_;
@@ -142,6 +148,9 @@ class SsdDevice
     sim::Semaphore queue_;
     std::vector<std::unique_ptr<sim::Mutex>> channels_;
     common::StatSet stats_;
+    common::Tracer trace_;
+    /** Per-channel op counters, pre-resolved (stable map nodes). */
+    std::vector<common::Counter *> channelOps_;
 };
 
 } // namespace flash

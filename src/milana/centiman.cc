@@ -56,6 +56,7 @@ CentimanClient::decideCommit(Transaction &txn)
     if (!txn.readOnly()) {
         result = co_await twoPhaseCommit(txn, false);
     } else if (txn.snapshotViolated_) {
+        txn.abortReason_ = semel::AbortReason::SnapshotViolated;
         result = CommitResult::Aborted;
     } else {
         stats().counter("centiman.ro_txns").inc();

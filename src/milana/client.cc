@@ -41,6 +41,8 @@ MilanaClient::beginTransaction(TxnHint hint)
     txn.active_ = true;
     txn.hint_ = hint;
     stats_.counter("txn.begun").inc();
+    trace_.instant("milana.txn.begin",
+                   hint == TxnHint::ReadWrite ? "rw_hint" : "default");
     return txn;
 }
 
@@ -150,6 +152,7 @@ MilanaClient::abortTransaction(Transaction &txn)
     txn.readSet_.clear();
     txn.writeSet_.clear();
     stats_.counter("txn.client_aborts").inc();
+    trace_.instant("milana.txn.client_abort");
     noteAcked(clock_.localNow());
 }
 
@@ -162,6 +165,7 @@ MilanaClient::commitReadOnlyLocal(Transaction &txn)
     stats_.counter("txn.local_validations").inc();
     if (txn.snapshotViolated_) {
         stats_.counter("txn.local_validation_fail").inc();
+        txn.abortReason_ = semel::AbortReason::SnapshotViolated;
         co_return CommitResult::Aborted;
     }
     co_return CommitResult::Committed;
@@ -196,6 +200,8 @@ MilanaClient::twoPhaseCommit(Transaction &txn, bool read_only)
         sim::Quorum all;
         bool anyAbort = false;
         bool anyFailure = false;
+        /** First abort reason reported by a participant. */
+        semel::AbortReason reason = semel::AbortReason::None;
     };
     auto votes = std::make_shared<VoteState>(
         sim_, static_cast<std::uint32_t>(by_shard.size()));
@@ -219,10 +225,13 @@ MilanaClient::twoPhaseCommit(Transaction &txn, bool read_only)
                     self->nodeId(), primary->nodeId(),
                     primary->handlePrepare(request));
             }
-            if (!resp.has_value())
+            if (!resp.has_value()) {
                 votes->anyFailure = true;
-            else if (resp->vote == Vote::Abort)
+            } else if (resp->vote == Vote::Abort) {
                 votes->anyAbort = true;
+                if (votes->reason == semel::AbortReason::None)
+                    votes->reason = resp->reason;
+            }
             votes->all.arrive();
         }(this, primary, req, votes));
     }
@@ -234,9 +243,13 @@ MilanaClient::twoPhaseCommit(Transaction &txn, bool read_only)
     if (votes->anyFailure) {
         result = CommitResult::Failed;
         decision = TxnDecision::Abort;
+        txn.abortReason_ = semel::AbortReason::PrepareFailed;
     } else if (votes->anyAbort) {
         result = CommitResult::Aborted;
         decision = TxnDecision::Abort;
+        txn.abortReason_ = votes->reason != semel::AbortReason::None
+                               ? votes->reason
+                               : semel::AbortReason::PrepareFailed;
     } else {
         result = CommitResult::Committed;
         decision = TxnDecision::Commit;
@@ -270,8 +283,10 @@ MilanaClient::decideCommit(Transaction &txn)
     if (txn.readOnly()) {
         // Remote validation of the read-only snapshot (w/o LV). The
         // client-side inconsistency evidence is decisive either way.
-        if (txn.snapshotViolated_)
+        if (txn.snapshotViolated_) {
+            txn.abortReason_ = semel::AbortReason::SnapshotViolated;
             co_return CommitResult::Aborted;
+        }
         co_return co_await twoPhaseCommit(txn, true);
     }
     co_return co_await twoPhaseCommit(txn, false);
@@ -284,11 +299,15 @@ MilanaClient::commitTransaction(Transaction &txn)
         PANIC("commit on inactive transaction");
     txn.active_ = false;
 
+    common::ScopedSpan span(trace_, "milana.txn.commit",
+                            txn.readOnly() ? "ro" : "rw");
+
     const CommitResult result = co_await decideCommit(txn);
 
     switch (result) {
       case CommitResult::Committed:
         stats_.counter("txn.committed").inc();
+        span.setTag("committed");
         if (tcfg_.interTxnCacheCapacity > 0) {
             // Committed writes refresh the cache at the new version.
             for (const auto &[key, value] : txn.writeSet_) {
@@ -302,6 +321,10 @@ MilanaClient::commitTransaction(Transaction &txn)
         break;
       case CommitResult::Aborted:
         stats_.counter("txn.aborted").inc();
+        stats_.counter(std::string("txn.abort.") +
+                       semel::abortReasonName(txn.abortReason_))
+            .inc();
+        span.setTag(semel::abortReasonName(txn.abortReason_));
         // Cached reads may have caused the conflict: drop them so the
         // retry reads fresh data.
         for (const auto &[key, cached] : txn.readSet_)
@@ -309,6 +332,7 @@ MilanaClient::commitTransaction(Transaction &txn)
         break;
       case CommitResult::Failed:
         stats_.counter("txn.failed").inc();
+        span.setTag("failed");
         break;
     }
     // Watermark input: the timestamp of the latest *decided*

@@ -79,6 +79,8 @@ class Transaction
     TxnHint hint() const { return hint_; }
     common::Version begin() const { return begin_; }
     const TxnId &id() const { return id_; }
+    /** Why the last commit attempt aborted (None when committed). */
+    semel::AbortReason abortReason() const { return abortReason_; }
 
   private:
     friend class MilanaClient;
@@ -100,6 +102,7 @@ class Transaction
     bool snapshotViolated_ = false;
     bool active_ = false;
     TxnHint hint_ = TxnHint::Default;
+    semel::AbortReason abortReason_ = semel::AbortReason::None;
     /** Set by twoPhaseCommit; the stamp committed writes carry. */
     common::Version commitVersion_;
 };

@@ -67,6 +67,7 @@ sim::Task<GetResponse>
 MilanaServer::handleGet(GetRequest request)
 {
     stats_.counter("milana.gets").inc();
+    common::ScopedSpan span(trace_, "milana.server.get");
     co_await chargeCpu();
     GetResponse resp;
 
@@ -80,6 +81,7 @@ MilanaServer::handleGet(GetRequest request)
         if (sim_.now() > deadline || sim_.stopRequested()) {
             resp.unavailable = true;
             stats_.counter("milana.get_unavailable").inc();
+            span.setTag("unavailable");
             co_return resp;
         }
         if (!recovering_)
@@ -110,19 +112,20 @@ MilanaServer::handleGet(GetRequest request)
 
 // -------------------------------------------------------- validation
 
-Vote
+semel::AbortReason
 MilanaServer::validate(const PrepareRequest &request)
 {
+    using semel::AbortReason;
     // Algorithm 1, verbatim.
     for (const auto &read : request.readSet) {
         const auto &ks = keys_.state(read.key);
         if (ks.prepared.has_value()) {
             stats_.counter("milana.abort_read_prepared").inc();
-            return Vote::Abort;
+            return AbortReason::ReadPrepared;
         }
         if (ks.latestCommitted != read.observed) {
             stats_.counter("milana.abort_read_stale").inc();
-            return Vote::Abort;
+            return AbortReason::ReadStale;
         }
     }
     const Version new_version = request.commitVersion;
@@ -130,29 +133,33 @@ MilanaServer::validate(const PrepareRequest &request)
         const auto &ks = keys_.state(write.key);
         if (ks.prepared.has_value()) {
             stats_.counter("milana.abort_write_prepared").inc();
-            return Vote::Abort;
+            return AbortReason::WritePrepared;
         }
         if (ks.latestRead >= new_version) {
             stats_.counter("milana.abort_write_read_conflict").inc();
-            return Vote::Abort;
+            return AbortReason::WriteReadConflict;
         }
         if (ks.latestCommitted >= new_version) {
             stats_.counter("milana.abort_write_stale").inc();
-            return Vote::Abort;
+            return AbortReason::WriteStale;
         }
     }
-    return Vote::Commit;
+    return AbortReason::None;
 }
 
 sim::Task<PrepareResponse>
 MilanaServer::handlePrepare(PrepareRequest request)
 {
     stats_.counter("milana.prepares").inc();
+    common::ScopedSpan span(trace_, "milana.server.prepare");
+    span.setArg(static_cast<std::int64_t>(request.writeSet.size()));
     co_await chargeCpu();
     PrepareResponse resp;
 
     if (recovering_) {
         resp.vote = Vote::Abort;
+        resp.reason = semel::AbortReason::PrepareFailed;
+        span.setTag("recovering");
         co_return resp;
     }
 
@@ -161,9 +168,11 @@ MilanaServer::handlePrepare(PrepareRequest request)
       case semel::TxnStatus::Prepared:
       case semel::TxnStatus::Committed:
         resp.vote = Vote::Commit;
+        span.setTag("duplicate");
         co_return resp;
       case semel::TxnStatus::Aborted:
         resp.vote = Vote::Abort;
+        span.setTag("duplicate");
         co_return resp;
       case semel::TxnStatus::Unknown:
         break;
@@ -187,6 +196,7 @@ MilanaServer::handlePrepare(PrepareRequest request)
             if (ks.prepared.has_value() &&
                 *ks.prepared <= request.beginVersion) {
                 resp.vote = Vote::Abort;
+                resp.reason = semel::AbortReason::ReadPrepared;
                 break;
             }
             const auto snapshot =
@@ -196,6 +206,7 @@ MilanaServer::handlePrepare(PrepareRequest request)
                                        : ks.latestCommitted;
             if (expect != read.observed) {
                 resp.vote = Vote::Abort;
+                resp.reason = semel::AbortReason::ReadStale;
                 break;
             }
         }
@@ -210,14 +221,21 @@ MilanaServer::handlePrepare(PrepareRequest request)
                            ? "milana.votes_commit"
                            : "milana.votes_abort")
             .inc();
+        span.setTag(resp.vote == Vote::Commit
+                        ? "commit"
+                        : semel::abortReasonName(resp.reason));
         co_return resp;
     }
 
-    resp.vote = validate(request);
-    if (resp.vote == Vote::Abort) {
+    const semel::AbortReason reason = validate(request);
+    if (reason != semel::AbortReason::None) {
+        resp.vote = Vote::Abort;
+        resp.reason = reason;
         stats_.counter("milana.votes_abort").inc();
+        span.setTag(semel::abortReasonName(reason));
         co_return resp;
     }
+    resp.vote = Vote::Commit;
 
     // Mark the write set prepared — synchronously with validation, so
     // no concurrent prepare can interleave.
@@ -247,6 +265,7 @@ MilanaServer::handlePrepare(PrepareRequest request)
     co_await replicateTxnRecord(std::move(record), true);
 
     stats_.counter("milana.votes_commit").inc();
+    span.setTag("commit");
     co_return resp;
 }
 
@@ -294,6 +313,10 @@ sim::Task<DecisionResponse>
 MilanaServer::handleDecision(DecisionRequest request)
 {
     stats_.counter("milana.decisions").inc();
+    common::ScopedSpan span(trace_, "milana.server.decision",
+                            request.decision == TxnDecision::Commit
+                                ? "commit"
+                                : "abort");
     DecisionResponse resp;
     resp.ok = true;
 
@@ -347,6 +370,14 @@ MilanaServer::replicateTxnRecord(ReplicateTxnRecord record,
     if (backups_.empty())
         co_return;
 
+    const char *kind = record.kind == TxnRecordKind::Prepared
+                           ? "prepared"
+                           : record.kind == TxnRecordKind::Committed
+                                 ? "committed"
+                                 : "aborted";
+    common::ScopedSpan span(trace_, "milana.repl.txn_record", kind);
+    const Time started = sim_.now();
+
     const auto needed = std::min<std::uint32_t>(
         config_.backupAcksNeeded,
         static_cast<std::uint32_t>(backups_.size()));
@@ -365,8 +396,10 @@ MilanaServer::replicateTxnRecord(ReplicateTxnRecord record,
                 q->arrive();
         }(this, mb, record, quorum));
     }
-    if (wait_quorum)
+    if (wait_quorum) {
         co_await quorum->wait();
+        stats_.histogram("milana.repl_wait").record(sim_.now() - started);
+    }
 }
 
 sim::Task<bool>

@@ -136,8 +136,9 @@ class MilanaServer : public semel::Server
     Time leaseUntil() const { return leaseUntil_; }
 
   private:
-    /** Algorithm 1. Assumes key states are initialized. */
-    Vote validate(const PrepareRequest &request);
+    /** Algorithm 1. Assumes key states are initialized. Returns
+     *  AbortReason::None on a commit vote, else the failed check. */
+    semel::AbortReason validate(const PrepareRequest &request);
 
     /** Initialize a key's DRAM state from storage if unseen (needed
      *  after failover, when ts_latestCommitted must be rebuilt from

@@ -14,6 +14,7 @@
 
 #include "clocksync/clock.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "net/network.hh"
 #include "semel/server.hh"
 #include "semel/shard_map.hh"
@@ -63,6 +64,9 @@ class Client
 
     common::StatSet &stats() { return stats_; }
 
+    /** Trace emission handle; disabled until the cluster attaches it. */
+    common::Tracer &tracer() { return trace_; }
+
   protected:
     Server *primaryFor(Key key) const;
     void noteAcked(Time timestamp);
@@ -78,6 +82,7 @@ class Client
     Config config_;
     Time lastAcked_ = 0;
     common::StatSet stats_;
+    common::Tracer trace_;
 };
 
 } // namespace semel

@@ -132,9 +132,47 @@ enum class Vote : std::uint8_t
     Abort,
 };
 
+/**
+ * Why a transaction aborted. The first five mirror the checks of
+ * Algorithm 1 in order; the last two are client-side outcomes that
+ * never cross the wire but share the same vocabulary so traces and
+ * metrics name every abort consistently (OBSERVABILITY.md).
+ */
+enum class AbortReason : std::uint8_t
+{
+    None,
+    ReadPrepared,
+    ReadStale,
+    WritePrepared,
+    WriteReadConflict,
+    WriteStale,
+    /** Client side: a read observed an inconsistent snapshot. */
+    SnapshotViolated,
+    /** Infrastructure: a participant unreachable or recovering. */
+    PrepareFailed,
+};
+
+constexpr const char *
+abortReasonName(AbortReason reason)
+{
+    switch (reason) {
+      case AbortReason::None: return "none";
+      case AbortReason::ReadPrepared: return "read_prepared";
+      case AbortReason::ReadStale: return "read_stale";
+      case AbortReason::WritePrepared: return "write_prepared";
+      case AbortReason::WriteReadConflict: return "write_read_conflict";
+      case AbortReason::WriteStale: return "write_stale";
+      case AbortReason::SnapshotViolated: return "snapshot_violated";
+      case AbortReason::PrepareFailed: return "prepare_failed";
+    }
+    return "?";
+}
+
 struct PrepareResponse
 {
     Vote vote = Vote::Abort;
+    /** Which check failed when vote == Abort (None on commit). */
+    AbortReason reason = AbortReason::None;
 };
 
 /** Client -> participant primary: phase 2 outcome notification. */

@@ -75,6 +75,9 @@ Server::replicateToBackups(ReplicateWrite msg)
         PANIC("quorum " << config_.backupAcksNeeded << " > "
                         << backups_.size() << " backups");
 
+    common::ScopedSpan span(trace_, "semel.repl.write");
+    span.setArg(static_cast<std::int64_t>(backups_.size()));
+    const Time started = sim_.now();
     auto quorum = std::make_shared<sim::Quorum>(
         sim_, config_.backupAcksNeeded);
     for (Server *backup : backups_) {
@@ -89,6 +92,7 @@ Server::replicateToBackups(ReplicateWrite msg)
     }
     // Inconsistent replication: no ordering, just a quorum of acks.
     co_await quorum->wait();
+    stats_.histogram("semel.repl_wait").record(sim_.now() - started);
     co_return true;
 }
 

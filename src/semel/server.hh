@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "ftl/kv_backend.hh"
 #include "net/network.hh"
 #include "semel/messages.hh"
@@ -98,6 +99,9 @@ class Server
 
     common::StatSet &stats() { return stats_; }
 
+    /** Trace emission handle; disabled until the cluster attaches it. */
+    common::Tracer &tracer() { return trace_; }
+
   protected:
     /** Charge one request's CPU cost (queueing on the core pool). */
     sim::Task<void> chargeCpu();
@@ -130,6 +134,7 @@ class Server
     Time watermark_ = 0;
 
     common::StatSet stats_;
+    common::Tracer trace_;
 };
 
 /** NodeId -> Server lookup used by clients and the cluster builder. */

@@ -110,6 +110,38 @@ Cluster::Cluster(const ClusterConfig &config)
                 client_config, txn_config));
         }
     }
+
+    if (config_.trace != nullptr)
+        attachTracers();
+}
+
+void
+Cluster::attachTracers()
+{
+    common::TraceLog &log = *config_.trace;
+    sim::Simulator *sim = &sim_;
+    const auto true_now = [sim] { return sim->now(); };
+
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        milana::MilanaServer *server = servers_[i].get();
+        clocksync::Clock *clock = serverClocks_[i].get();
+        const auto local_now = [clock] { return clock->localNow(); };
+        server->tracer().attach(log, server->nodeId(), true_now,
+                                local_now);
+        if (devices_[i] != nullptr)
+            devices_[i]->tracer().attach(log, server->nodeId(), true_now,
+                                         local_now);
+    }
+    for (std::uint32_t i = 0; i < config_.numClients; ++i) {
+        milana::MilanaClient *client = clients_[i].get();
+        clocksync::Clock *clock = &client->clock();
+        const auto local_now = [clock] { return clock->localNow(); };
+        client->tracer().attach(log, client->nodeId(), true_now,
+                                local_now);
+        if (ensemble_ != nullptr)
+            ensemble_->agent(i).tracer().attach(log, client->nodeId(),
+                                                true_now, local_now);
+    }
 }
 
 Cluster::~Cluster() = default;
@@ -281,6 +313,15 @@ Cluster::serverStats() const
     common::StatSet merged;
     for (const auto &server : servers_)
         merged.merge(server->stats());
+    return merged;
+}
+
+common::StatSet
+Cluster::clockStats() const
+{
+    common::StatSet merged;
+    if (ensemble_ != nullptr)
+        merged.merge(ensemble_->stats());
     return merged;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "clocksync/sync.hh"
+#include "common/trace.hh"
 #include "flash/ssd.hh"
 #include "ftl/dram.hh"
 #include "ftl/mftl.hh"
@@ -81,6 +82,13 @@ struct ClusterConfig
      *  experiments use the Geometry default of 32; cluster VMs get a
      *  smaller slice, as in the paper's per-VM emulated devices). */
     std::uint32_t deviceChannels = 8;
+    /**
+     * When non-null, every component (clients, servers, devices, sync
+     * agents) emits trace events into this log, stamped with TrueTime
+     * and the emitting node's LocalTime. Null = tracing off (no cost
+     * beyond one branch per site).
+     */
+    common::TraceLog *trace = nullptr;
 };
 
 class Cluster
@@ -114,6 +122,8 @@ class Cluster
     common::StatSet clientStats() const;
     /** Aggregate of all server stat sets. */
     common::StatSet serverStats() const;
+    /** Clock-sync exchange stats (empty without an ensemble). */
+    common::StatSet clockStats() const;
     /** Reset all client/server counters (end of warm-up). */
     void resetStats();
 
@@ -133,6 +143,8 @@ class Cluster
 
   private:
     void buildStorageNode(common::ShardId shard, std::uint32_t replica);
+    /** Arm every component's Tracer on config_.trace. */
+    void attachTracers();
 
     ClusterConfig config_;
     sim::Simulator sim_;

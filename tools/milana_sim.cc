@@ -19,10 +19,12 @@
  */
 
 #include <cstdio>
-#include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "../bench/bench_util.hh"
+#include "common/trace.hh"
 #include "workload/cluster.hh"
 #include "workload/retwis.hh"
 
@@ -72,18 +74,6 @@ parseClocks(const std::string &name)
     std::exit(2);
 }
 
-std::string
-getString(int argc, char **argv, const std::string &name,
-          const std::string &def)
-{
-    const std::string prefix = "--" + name + "=";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
-            return std::string(argv[i] + prefix.size());
-    }
-    return def;
-}
-
 } // namespace
 
 int
@@ -101,7 +91,12 @@ main(int argc, char **argv)
             "  --no-local-validation           --centiman\n"
             "  --seconds=N --warmup=N          --crash-at=N (crash "
             "shard 0's primary)\n"
-            "  --dump-stats\n");
+            "  --dump-stats\n"
+            "  --json=PATH  (milana-bench-v1 report with full stat "
+            "sets)\n"
+            "  --trace=PATH (event trace; .csv extension = CSV, else "
+            "JSON)\n"
+            "  --trace-capacity=N (trace ring size, default 262144)\n");
         return 0;
     }
 
@@ -113,10 +108,19 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(args.getInt("clients", 20));
     cfg.numKeys = static_cast<std::uint64_t>(args.getInt("keys", 50'000));
     cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
-    cfg.backend = parseBackend(getString(argc, argv, "backend", "mftl"));
-    cfg.clocks = parseClocks(getString(argc, argv, "clocks", "ptp"));
+    cfg.backend = parseBackend(args.getString("backend", "mftl"));
+    cfg.clocks = parseClocks(args.getString("clocks", "ptp"));
     cfg.localValidation = !args.has("no-local-validation");
     cfg.centiman = args.has("centiman");
+
+    const std::string trace_path = args.getString("trace", "");
+    std::unique_ptr<common::TraceLog> trace;
+    if (!trace_path.empty()) {
+        trace = std::make_unique<common::TraceLog>(
+            static_cast<std::size_t>(
+                args.getInt("trace-capacity", 262'144)));
+        cfg.trace = trace.get();
+    }
 
     RetwisConfig retwis;
     retwis.alpha = args.getDouble("alpha", 0.6);
@@ -208,5 +212,56 @@ main(int argc, char **argv)
         std::printf("--- network stats ---\n%s",
                     cluster.network().stats().dump("  ").c_str());
     }
+
+    if (trace != nullptr) {
+        std::ofstream os(trace_path);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        if (trace_path.size() >= 4 &&
+            trace_path.compare(trace_path.size() - 4, 4, ".csv") == 0)
+            trace->writeCsv(os);
+        else
+            trace->writeJson(os);
+        std::printf("wrote %s (%zu events kept, %llu dropped)\n",
+                    trace_path.c_str(), trace->size(),
+                    static_cast<unsigned long long>(trace->dropped()));
+    }
+
+    bench::Report report("milana_sim");
+    report.params()
+        .set("shards", cfg.numShards)
+        .set("replicas", cfg.replicasPerShard)
+        .set("clients", cfg.numClients)
+        .set("keys", cfg.numKeys)
+        .set("seed", cfg.seed)
+        .set("backend", workload::backendName(cfg.backend))
+        .set("clocks", workload::clockName(cfg.clocks))
+        .set("alpha", retwis.alpha)
+        .set("read_heavy", retwis.readHeavy)
+        .set("local_validation", cfg.localValidation)
+        .set("centiman", cfg.centiman)
+        .set("warmup_s", common::toSeconds(warmup))
+        .set("seconds", seconds);
+    report.addRow()
+        .set("committed", fleet.totalCommits())
+        .set("aborted", fleet.totalAborts())
+        .set("txn_per_sec",
+             static_cast<double>(fleet.totalCommits()) / seconds)
+        .set("abort_pct", fleet.abortRate() * 100.0)
+        .set("latency_mean_ms",
+             common::toMillis(
+                 static_cast<common::Duration>(latency.mean())))
+        .set("latency_p50_ms", common::toMillis(latency.p50()))
+        .set("latency_p95_ms", common::toMillis(latency.p95()))
+        .set("latency_p99_ms", common::toMillis(latency.p99()))
+        .set("avg_client_skew_us", cluster.avgClientSkew() / 1000.0);
+    report.addStats("client", clients, "client.");
+    report.addStats("server", cluster.serverStats(), "server.");
+    report.addStats("network", cluster.network().stats(), "net.");
+    report.addStats("clocksync", cluster.clockStats());
+    report.write(args);
     return 0;
 }

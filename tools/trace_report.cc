@@ -1,0 +1,334 @@
+/**
+ * @file
+ * trace-report — offline analysis of a milana-trace-v1 event log (the
+ * --trace output of fig6_abort_vs_clients, milana-sim, or any harness
+ * wired through ClusterConfig::trace).
+ *
+ * Reads JSON or CSV (chosen by file extension), pairs SpanBegin/SpanEnd
+ * records, and prints:
+ *
+ *  - a per-layer breakdown (layer = the first dot-separated segment of
+ *    the event name: milana, semel, flash, clocksync, ...) of span
+ *    counts and latency quantiles;
+ *  - a per-span-name latency table (count, mean, p50, p95, p99, max);
+ *  - the transaction abort-reason split, from the tags of
+ *    `milana.txn.commit` span-end events — the same vocabulary as the
+ *    client txn.abort.<reason> counters, so the split can be checked
+ *    against the bench's --json stat dump;
+ *  - observed local-vs-true clock error of the traced nodes.
+ *
+ * The trace is a bounded recent window (the ring drops the oldest
+ * events), so absolute counts cover the window, not the whole run;
+ * proportions are what to compare. See OBSERVABILITY.md for a worked
+ * example.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/json.hh"
+
+namespace {
+
+struct Event
+{
+    std::uint64_t seq = 0;
+    std::int64_t trueTime = 0;
+    std::int64_t localTime = 0;
+    std::uint32_t node = 0;
+    char kind = 'I'; // 'I', 'B', 'E'
+    std::uint64_t span = 0;
+    std::string name;
+    std::string tag;
+    std::int64_t arg = 0;
+};
+
+struct Trace
+{
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    std::vector<Event> events;
+};
+
+bool
+loadJson(const std::string &text, Trace &trace, std::string &error)
+{
+    const common::JsonValue doc = common::JsonValue::parse(text, &error);
+    if (!doc.isObject())
+        return false;
+    if (doc.at("schema").asString() != "milana-trace-v1") {
+        error = "not a milana-trace-v1 document";
+        return false;
+    }
+    trace.recorded =
+        static_cast<std::uint64_t>(doc.at("recorded").asInt());
+    trace.dropped = static_cast<std::uint64_t>(doc.at("dropped").asInt());
+    for (const common::JsonValue &e : doc.at("events").items()) {
+        Event ev;
+        ev.seq = static_cast<std::uint64_t>(e.at("seq").asInt());
+        ev.trueTime = e.at("t").asInt();
+        ev.localTime = e.at("lt").asInt();
+        ev.node = static_cast<std::uint32_t>(e.at("node").asInt());
+        ev.kind = e.at("kind").asString().empty()
+                      ? 'I'
+                      : e.at("kind").asString()[0];
+        ev.span = static_cast<std::uint64_t>(e.at("span").asInt());
+        ev.name = e.at("name").asString();
+        ev.tag = e.at("tag").asString();
+        ev.arg = e.at("arg").asInt();
+        trace.events.push_back(std::move(ev));
+    }
+    return true;
+}
+
+bool
+loadCsv(std::istream &is, Trace &trace, std::string &error)
+{
+    std::string line;
+    if (!std::getline(is, line) ||
+        line.rfind("seq,true_ns,local_ns", 0) != 0) {
+        error = "missing trace CSV header";
+        return false;
+    }
+    std::size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::vector<std::string> fields;
+        std::size_t start = 0;
+        for (std::size_t i = 0; i <= line.size(); ++i) {
+            if (i == line.size() || line[i] == ',') {
+                fields.push_back(line.substr(start, i - start));
+                start = i + 1;
+            }
+        }
+        if (fields.size() != 9) {
+            error = "line " + std::to_string(lineno) + ": expected 9 "
+                    "fields, got " + std::to_string(fields.size());
+            return false;
+        }
+        Event ev;
+        ev.seq = std::strtoull(fields[0].c_str(), nullptr, 10);
+        ev.trueTime = std::strtoll(fields[1].c_str(), nullptr, 10);
+        ev.localTime = std::strtoll(fields[2].c_str(), nullptr, 10);
+        ev.node = static_cast<std::uint32_t>(
+            std::strtoul(fields[3].c_str(), nullptr, 10));
+        ev.kind = fields[4].empty() ? 'I' : fields[4][0];
+        ev.span = std::strtoull(fields[5].c_str(), nullptr, 10);
+        ev.name = fields[6];
+        ev.tag = fields[7];
+        ev.arg = std::strtoll(fields[8].c_str(), nullptr, 10);
+        trace.events.push_back(std::move(ev));
+    }
+    trace.recorded = trace.events.size(); // CSV has no header counters
+    trace.dropped = 0;
+    return true;
+}
+
+std::string
+layerOf(const std::string &name)
+{
+    const std::size_t dot = name.find('.');
+    return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+double
+us(double ns)
+{
+    return ns / 1000.0;
+}
+
+void
+printLatencyRow(const std::string &label, const common::Histogram &h)
+{
+    std::printf("%-28s %9llu %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+                label.c_str(),
+                static_cast<unsigned long long>(h.count()),
+                us(h.mean()), us(static_cast<double>(h.p50())),
+                us(static_cast<double>(h.p95())),
+                us(static_cast<double>(h.p99())),
+                us(static_cast<double>(h.max())));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2 || std::string(argv[1]) == "--help") {
+        std::fprintf(stderr,
+                     "usage: trace-report <trace.json | trace.csv>\n"
+                     "analyzes a milana-trace-v1 event log; see "
+                     "OBSERVABILITY.md\n");
+        return 2;
+    }
+    const std::string path = argv[1];
+
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        return 1;
+    }
+
+    Trace trace;
+    std::string error;
+    const bool is_csv =
+        path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (is_csv) {
+        if (!loadCsv(is, trace, error)) {
+            std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                         error.c_str());
+            return 1;
+        }
+    } else {
+        std::stringstream buffer;
+        buffer << is.rdbuf();
+        if (!loadJson(buffer.str(), trace, error)) {
+            std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                         error.c_str());
+            return 1;
+        }
+    }
+
+    if (trace.events.empty()) {
+        std::printf("%s: empty trace\n", path.c_str());
+        return 0;
+    }
+
+    std::int64_t t_min = trace.events.front().trueTime;
+    std::int64_t t_max = t_min;
+    for (const Event &e : trace.events) {
+        t_min = std::min(t_min, e.trueTime);
+        t_max = std::max(t_max, e.trueTime);
+    }
+
+    std::printf("%s: %zu events", path.c_str(), trace.events.size());
+    if (trace.dropped != 0)
+        std::printf(" (window of %llu recorded; %llu evicted)",
+                    static_cast<unsigned long long>(trace.recorded),
+                    static_cast<unsigned long long>(trace.dropped));
+    std::printf("\ncovers %.3f ms of simulated time (t=%.3f..%.3f s)\n",
+                static_cast<double>(t_max - t_min) / 1e6,
+                static_cast<double>(t_min) / 1e9,
+                static_cast<double>(t_max) / 1e9);
+
+    // Pair spans; unmatched ends (begin evicted from the ring) and
+    // unmatched begins (still open at snapshot) are counted, not fatal.
+    std::map<std::uint64_t, const Event *> open;
+    std::map<std::string, common::Histogram> byName;
+    std::map<std::string, common::Histogram> byLayer;
+    std::map<std::string, std::uint64_t> instants;
+    std::map<std::string, std::uint64_t> commitTags;
+    common::Histogram clockError;
+    std::uint64_t spans = 0, orphanEnds = 0;
+
+    for (const Event &e : trace.events) {
+        if (e.localTime != e.trueTime)
+            clockError.record(std::abs(e.localTime - e.trueTime));
+        switch (e.kind) {
+          case 'I':
+            ++instants[e.name];
+            break;
+          case 'B':
+            open[e.span] = &e;
+            break;
+          case 'E': {
+            const auto it = open.find(e.span);
+            if (it == open.end()) {
+                ++orphanEnds;
+                break;
+            }
+            const std::int64_t duration =
+                e.trueTime - it->second->trueTime;
+            open.erase(it);
+            ++spans;
+            byName[e.name].record(duration);
+            byLayer[layerOf(e.name)].record(duration);
+            if (e.name == "milana.txn.commit")
+                ++commitTags[e.tag.empty() ? "?" : e.tag];
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    std::printf("\nspans: %llu paired, %llu still open, %llu ends "
+                "missing their begin (evicted)\n",
+                static_cast<unsigned long long>(spans),
+                static_cast<unsigned long long>(open.size()),
+                static_cast<unsigned long long>(orphanEnds));
+
+    std::printf("\n--- per-layer span latency (us) ---\n");
+    std::printf("%-28s %9s %9s %9s %9s %9s %9s\n", "layer", "count",
+                "mean", "p50", "p95", "p99", "max");
+    for (const auto &[layer, hist] : byLayer)
+        printLatencyRow(layer, hist);
+
+    std::printf("\n--- per-span latency (us) ---\n");
+    std::printf("%-28s %9s %9s %9s %9s %9s %9s\n", "span", "count",
+                "mean", "p50", "p95", "p99", "max");
+    for (const auto &[name, hist] : byName)
+        printLatencyRow(name, hist);
+
+    if (!instants.empty()) {
+        std::printf("\n--- instant events ---\n");
+        for (const auto &[name, count] : instants)
+            std::printf("%-28s %9llu\n", name.c_str(),
+                        static_cast<unsigned long long>(count));
+    }
+
+    if (!commitTags.empty()) {
+        std::uint64_t total = 0, aborted = 0;
+        for (const auto &[tag, count] : commitTags) {
+            total += count;
+            if (tag != "committed" && tag != "failed")
+                aborted += count;
+        }
+        std::printf("\n--- transaction outcomes (milana.txn.commit "
+                    "spans) ---\n");
+        for (const auto &[tag, count] : commitTags)
+            std::printf("%-28s %9llu  (%5.2f%% of commits)\n",
+                        tag.c_str(),
+                        static_cast<unsigned long long>(count),
+                        100.0 * static_cast<double>(count) /
+                            static_cast<double>(total));
+        if (aborted != 0) {
+            std::printf("abort-reason split (%% of aborts):\n");
+            for (const auto &[tag, count] : commitTags) {
+                if (tag == "committed" || tag == "failed")
+                    continue;
+                std::printf("  %-26s %9llu  (%5.2f%%)\n", tag.c_str(),
+                            static_cast<unsigned long long>(count),
+                            100.0 * static_cast<double>(count) /
+                                static_cast<double>(aborted));
+            }
+        }
+    }
+
+    if (clockError.count() != 0) {
+        std::printf("\n--- observed |LocalTime - TrueTime| (us) ---\n");
+        std::printf("%-28s %9llu %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+                    "clock error",
+                    static_cast<unsigned long long>(clockError.count()),
+                    us(clockError.mean()),
+                    us(static_cast<double>(clockError.p50())),
+                    us(static_cast<double>(clockError.p95())),
+                    us(static_cast<double>(clockError.p99())),
+                    us(static_cast<double>(clockError.max())));
+    } else {
+        std::printf("\nall events stamped with LocalTime == TrueTime "
+                    "(perfect clocks)\n");
+    }
+    return 0;
+}
