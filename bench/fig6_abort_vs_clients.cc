@@ -11,6 +11,10 @@
  * Extra flags beyond the common set:
  *   --trace=PATH          rerun one cell with tracing on and dump the
  *                         event log (.csv extension = CSV, else JSON)
+ *   --perfetto=PATH       same rerun, exported as Chrome/Perfetto
+ *                         trace-event JSON (combines with --trace)
+ *   --monitor             run the online invariant monitor over the
+ *                         traced cell; violations exit non-zero
  *   --trace-alpha=F       traced cell contention (default 0.8)
  *   --trace-clients=N     traced cell client count (default 16)
  *   --trace-capacity=N    trace ring size in events (default 262144)
@@ -21,9 +25,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "bench_util.hh"
+#include "common/invariant_monitor.hh"
 #include "common/trace.hh"
 #include "workload/cluster.hh"
 #include "workload/retwis.hh"
@@ -143,32 +149,67 @@ main(int argc, char **argv)
         "grows with contention and client count.\n");
 
     const std::string trace_path = args.getString("trace", "");
-    if (!trace_path.empty()) {
+    const std::string perfetto_path = args.getString("perfetto", "");
+    const bool monitor_on = args.has("monitor");
+    bool monitor_failed = false;
+    if (!trace_path.empty() || !perfetto_path.empty() || monitor_on) {
         const double trace_alpha = args.getDouble("trace-alpha", 0.8);
         const auto trace_clients = static_cast<std::uint32_t>(
             args.getInt("trace-clients", 16));
         common::TraceLog log(static_cast<std::size_t>(
             args.getInt("trace-capacity", 262'144)));
+        common::InvariantMonitor monitor(
+            [] {
+                common::InvariantMonitor::Config mcfg;
+                // The traced cell is MFTL (multi-version), so the
+                // snapshot-read check is sound; single replica, so
+                // the replication check stays off.
+                mcfg.checkSnapshotReads = true;
+                mcfg.checkReplicationBeforeAck = false;
+                return mcfg;
+            }(),
+            &std::cerr);
+        if (monitor_on)
+            monitor.attach(log);
         std::printf("\ntracing one MFTL cell (alpha=%.2f, %u clients)"
                     "...\n",
                     trace_alpha, trace_clients);
         const CellResult cell =
             runCell(BackendKind::Mftl, trace_clients, trace_alpha, keys,
                     warmup, measure, seed, &log);
-        std::ofstream os(trace_path);
-        if (!os) {
-            std::fprintf(stderr, "error: cannot write %s\n",
-                         trace_path.c_str());
-            return 1;
+        if (!trace_path.empty()) {
+            std::ofstream os(trace_path);
+            if (!os) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             trace_path.c_str());
+                return 1;
+            }
+            if (trace_path.size() >= 4 &&
+                trace_path.compare(trace_path.size() - 4, 4, ".csv") ==
+                    0)
+                log.writeCsv(os);
+            else
+                log.writeJson(os);
+            std::printf("wrote %s (%zu events kept, %llu dropped)\n",
+                        trace_path.c_str(), log.size(),
+                        static_cast<unsigned long long>(log.dropped()));
         }
-        if (trace_path.size() >= 4 &&
-            trace_path.compare(trace_path.size() - 4, 4, ".csv") == 0)
-            log.writeCsv(os);
-        else
-            log.writeJson(os);
-        std::printf("wrote %s (%zu events kept, %llu dropped)\n",
-                    trace_path.c_str(), log.size(),
-                    static_cast<unsigned long long>(log.dropped()));
+        if (!perfetto_path.empty()) {
+            std::ofstream os(perfetto_path);
+            if (!os) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             perfetto_path.c_str());
+                return 1;
+            }
+            log.writePerfetto(os);
+            std::printf("wrote %s (Perfetto trace-event JSON; open at "
+                        "ui.perfetto.dev)\n",
+                        perfetto_path.c_str());
+        }
+        if (monitor_on) {
+            monitor.report(std::cout);
+            monitor_failed = !monitor.ok();
+        }
         report.params()
             .set("trace_path", trace_path)
             .set("trace_alpha", trace_alpha)
@@ -181,5 +222,5 @@ main(int argc, char **argv)
     }
 
     report.write(args);
-    return 0;
+    return monitor_failed ? 1 : 0;
 }

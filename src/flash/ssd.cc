@@ -35,6 +35,12 @@ SsdDevice::service(std::uint32_t block, common::Duration latency,
     span.setArg(chan);
     const common::Time entered = sim_.now();
     co_await queue_.acquire();
+    // Admit/release instants bracket the hardware-queue occupancy:
+    // their concurrency per node is the device queue depth (bounded by
+    // Geometry::queueDepth — the invariant monitor checks it), and the
+    // admit's arg2 is the pre-admission queueing delay, letting
+    // trace-report split flash.ssd.op into queueing vs. device time.
+    trace_.instant("flash.ssd.admit", op, chan, sim_.now() - entered);
     auto &channel = *channels_[chan];
     co_await channel.lock();
     // Time from arrival to channel grant: the queueing delay Table 1's
@@ -44,6 +50,7 @@ SsdDevice::service(std::uint32_t block, common::Duration latency,
     co_await sim::sleepFor(sim_, latency);
     channel.unlock();
     queue_.release();
+    trace_.instant("flash.ssd.release", op, chan);
 }
 
 sim::Task<const PageData *>

@@ -40,9 +40,12 @@ MilanaClient::beginTransaction(TxnHint hint)
     txn.begin_ = Version{clock_.localNow(), clientId_};
     txn.active_ = true;
     txn.hint_ = hint;
+    txn.traceId_ = trace_.newTraceId();
     stats_.counter("txn.begun").inc();
+    common::TraceContextScope ctx(common::TraceContext{txn.traceId_, 0});
     trace_.instant("milana.txn.begin",
-                   hint == TxnHint::ReadWrite ? "rw_hint" : "default");
+                   hint == TxnHint::ReadWrite ? "rw_hint" : "default",
+                   /*arg=*/0, /*arg2=*/txn.begin_.timestamp);
     return txn;
 }
 
@@ -64,6 +67,10 @@ MilanaClient::get(Transaction &txn, Key key)
     TxnRead result;
     if (!txn.active_)
         PANIC("get on inactive transaction");
+    // Reads run under the transaction's trace so server-side spans
+    // chain back to it.
+    common::TraceContextScope ctx(
+        common::TraceContext{txn.traceId_, 0});
 
     // Reads of our own buffered writes come from the write set.
     if (auto wit = txn.writeSet_.find(key); wit != txn.writeSet_.end()) {
@@ -89,6 +96,9 @@ MilanaClient::get(Transaction &txn, Key key)
         if (auto cit = interTxnCache_.find(key);
             cit != interTxnCache_.end()) {
             stats_.counter("txn.cache_hits").inc();
+            trace_.instant("milana.txn.read", "cache",
+                           static_cast<std::int64_t>(key),
+                           cit->second.observed.timestamp);
             txn.readSet_[key] = cit->second;
             result.ok = true;
             result.found = cit->second.found;
@@ -124,6 +134,9 @@ MilanaClient::get(Transaction &txn, Key key)
     if (resp->preparedLeqAt ||
         (resp->found && resp->version > txn.begin_))
         txn.snapshotViolated_ = true;
+    trace_.instant("milana.txn.read", resp->found ? "hit" : "miss",
+                   static_cast<std::int64_t>(key),
+                   cached.observed.timestamp);
     txn.readSet_[key] = cached;
     if (tcfg_.interTxnCacheCapacity > 0) {
         if (interTxnCache_.size() >= tcfg_.interTxnCacheCapacity)
@@ -152,6 +165,7 @@ MilanaClient::abortTransaction(Transaction &txn)
     txn.readSet_.clear();
     txn.writeSet_.clear();
     stats_.counter("txn.client_aborts").inc();
+    common::TraceContextScope ctx(common::TraceContext{txn.traceId_, 0});
     trace_.instant("milana.txn.client_abort");
     noteAcked(clock_.localNow());
 }
@@ -299,8 +313,12 @@ MilanaClient::commitTransaction(Transaction &txn)
         PANIC("commit on inactive transaction");
     txn.active_ = false;
 
+    common::TraceContextScope ctx(common::TraceContext{txn.traceId_, 0});
     common::ScopedSpan span(trace_, "milana.txn.commit",
                             txn.readOnly() ? "ro" : "rw");
+    // The commit end's arg carries ts_begin so offline tools and the
+    // invariant monitor can check committed reads against the snapshot.
+    span.setArg(txn.begin_.timestamp);
 
     const CommitResult result = co_await decideCommit(txn);
 
@@ -308,6 +326,9 @@ MilanaClient::commitTransaction(Transaction &txn)
       case CommitResult::Committed:
         stats_.counter("txn.committed").inc();
         span.setTag("committed");
+        span.setArg2(txn.commitVersion_.timestamp != 0
+                         ? txn.commitVersion_.timestamp
+                         : txn.begin_.timestamp);
         if (tcfg_.interTxnCacheCapacity > 0) {
             // Committed writes refresh the cache at the new version.
             for (const auto &[key, value] : txn.writeSet_) {

@@ -79,6 +79,9 @@ class Transaction
     TxnHint hint() const { return hint_; }
     common::Version begin() const { return begin_; }
     const TxnId &id() const { return id_; }
+    /** Trace id grouping every span of this transaction (0 when
+     *  tracing is disabled); printed by trace-report --txn=<id>. */
+    std::uint64_t traceId() const { return traceId_; }
     /** Why the last commit attempt aborted (None when committed). */
     semel::AbortReason abortReason() const { return abortReason_; }
 
@@ -95,6 +98,7 @@ class Transaction
 
     TxnId id_;
     common::Version begin_;
+    std::uint64_t traceId_ = 0;
     std::map<common::Key, CachedRead> readSet_;
     std::map<common::Key, Value> writeSet_;
     /** A read returned a prepared-flag or a version newer than

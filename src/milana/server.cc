@@ -289,6 +289,11 @@ MilanaServer::applyCommit(TxnEntry &entry)
             if (ks.prepared.has_value() && ks.preparedBy == txn)
                 ks.prepared.reset();
             self->noteCommitted(key, version);
+            // Per-key commit record: feeds the invariant monitor's
+            // commit-timestamp monotonicity check.
+            self->trace_.instant("milana.key.commit", {},
+                                 static_cast<std::int64_t>(key),
+                                 version.timestamp);
             q->arrive();
         }(this, write.key, write.value, entry.commitVersion, entry.txn,
           done));

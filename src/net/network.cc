@@ -21,6 +21,22 @@ Network::sampleDelay()
                     static_cast<Duration>(std::llround(d)));
 }
 
+Duration
+Network::sampleDelay(NodeId from, NodeId to)
+{
+    const Duration delay = sampleDelay();
+    auto it = linkDelay_.find({from, to});
+    if (it == linkDelay_.end()) {
+        const std::string name = "net.link." + std::to_string(from) +
+                                 "-" + std::to_string(to) + ".delay";
+        it = linkDelay_.emplace(std::make_pair(from, to),
+                                &stats_.histogram(name))
+                 .first;
+    }
+    it->second->record(delay);
+    return delay;
+}
+
 void
 Network::setNodeDown(NodeId node, bool down)
 {

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <set>
 #include <utility>
@@ -33,6 +34,7 @@
 
 #include "common/random.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "sim/future.hh"
 #include "sim/task.hh"
@@ -41,6 +43,25 @@ namespace net {
 
 using common::Duration;
 using common::NodeId;
+
+/**
+ * Pseudo node id for the network's own trace spans (`net.rpc`).
+ * Real storage nodes are < 100 and clients are >= 1000, so 999 cannot
+ * collide with either.
+ */
+inline constexpr NodeId kNetworkNode = 999;
+
+/**
+ * Metadata every simulated message carries, mirroring what a real
+ * transport would put on the wire. The TraceContext is captured on the
+ * sending node and restored on the receiving node, which is what links
+ * a server-side handler's spans to the client transaction that issued
+ * the RPC.
+ */
+struct MessageHeader
+{
+    common::TraceContext trace;
+};
 
 struct NetConfig
 {
@@ -65,6 +86,10 @@ class Network
     /** Sample one message delay. */
     Duration sampleDelay();
 
+    /** Sample a delay for the @p from -> @p to leg and record it in
+     *  the per-link histogram `net.link.<from>-<to>.delay`. */
+    Duration sampleDelay(NodeId from, NodeId to);
+
     /** Crash / restart a node. */
     void setNodeDown(NodeId node, bool down);
     bool nodeDown(NodeId node) const;
@@ -76,6 +101,9 @@ class Network
     bool deliverable(NodeId from, NodeId to) const;
 
     common::StatSet &stats() { return stats_; }
+
+    /** The network's own Tracer (spans emitted as node kNetworkNode). */
+    common::Tracer &tracer() { return tracer_; }
 
     /**
      * Invoke a handler coroutine on node @p to on behalf of node
@@ -97,27 +125,41 @@ class Network
     callTyped(NodeId from, NodeId to, sim::Task<Resp> handler)
     {
         stats_.counter("net.calls").inc();
+        // The RPC span inherits the caller's ambient context (the task
+        // starts inline in the caller); the message header then
+        // carries the context *including this span*, so handler-side
+        // spans chain caller -> net.rpc -> handler.
+        common::ScopedSpan rpc(tracer_, "net.rpc");
+        rpc.setArg(from);
+        rpc.setArg2(to);
+        const MessageHeader header{common::currentTraceContext()};
         if (!deliverable(from, to)) {
             co_await sim::sleepFor(sim_, config_.rpcTimeout);
             stats_.counter("net.request_lost").inc();
+            rpc.setTag("request_lost");
             co_return std::nullopt;
         }
-        co_await sim::sleepFor(sim_, sampleDelay());
+        co_await sim::sleepFor(sim_, sampleDelay(from, to));
         // Re-check on arrival: the destination may have crashed while
         // the request was in flight (the unexecuted handler is
         // discarded, as a dropped packet would be).
         if (nodeDown(to)) {
             co_await sim::sleepFor(sim_, config_.rpcTimeout);
             stats_.counter("net.request_lost").inc();
+            rpc.setTag("request_lost");
             co_return std::nullopt;
         }
+        // "Receiving node": restore the header's context around the
+        // handler, as a real server's RPC layer would.
+        common::TraceContextScope deliverScope(header.trace);
         Resp resp = co_await std::move(handler);
         if (!deliverable(to, from)) {
             co_await sim::sleepFor(sim_, config_.rpcTimeout);
             stats_.counter("net.response_lost").inc();
+            rpc.setTag("response_lost");
             co_return std::nullopt;
         }
-        co_await sim::sleepFor(sim_, sampleDelay());
+        co_await sim::sleepFor(sim_, sampleDelay(to, from));
         co_return resp;
     }
 
@@ -129,11 +171,14 @@ class Network
         stats_.counter("net.sends").inc();
         if (!deliverable(from, to))
             return;
-        sim_.schedule(sampleDelay(), [this, to,
-                                      deliver = std::move(deliver)] {
-            if (!nodeDown(to))
-                deliver();
-        });
+        const MessageHeader header{common::currentTraceContext()};
+        sim_.schedule(sampleDelay(from, to),
+                      [this, to, header, deliver = std::move(deliver)] {
+                          if (nodeDown(to))
+                              return;
+                          common::TraceContextScope scope(header.trace);
+                          deliver();
+                      });
     }
 
   private:
@@ -143,6 +188,9 @@ class Network
     std::vector<bool> down_;
     std::set<std::pair<NodeId, NodeId>> brokenLinks_;
     common::StatSet stats_;
+    common::Tracer tracer_;
+    /** Cached per-link histograms; StatSet map nodes are stable. */
+    std::map<std::pair<NodeId, NodeId>, common::Histogram *> linkDelay_;
 };
 
 } // namespace net

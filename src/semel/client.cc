@@ -67,6 +67,14 @@ sim::Task<PutResult>
 Client::put(Key key, Value value)
 {
     stats_.counter("client.puts").inc();
+    // A raw KV put outside any transaction starts its own trace so the
+    // server/replication spans it triggers still group together.
+    common::TraceContext ctx = common::currentTraceContext();
+    if (ctx.traceId == 0)
+        ctx.traceId = trace_.newTraceId();
+    common::TraceContextScope ctxScope(ctx);
+    common::ScopedSpan span(trace_, "semel.client.put");
+    span.setArg(static_cast<std::int64_t>(key));
     // The version is chosen once; retries resend the same stamp so the
     // server can deduplicate (idempotence, section 3.3).
     const Version version{clock_.localNow(), clientId_};
@@ -78,10 +86,12 @@ Client::put(Key key, Value value)
             node_, primary->nodeId(), primary->handlePut(req));
         if (resp.has_value()) {
             noteAcked(version.timestamp);
+            span.setTag(resp->result == PutResult::Ok ? "ok" : "rejected");
             co_return resp->result;
         }
         stats_.counter("client.put_retries").inc();
     }
+    span.setTag("failed");
     co_return PutResult::Failed;
 }
 

@@ -100,6 +100,8 @@ sim::Task<PutResponse>
 Server::handlePut(PutRequest request)
 {
     stats_.counter("semel.puts").inc();
+    common::ScopedSpan span(trace_, "semel.server.put");
+    span.setArg(static_cast<std::int64_t>(backups_.size()));
     co_await chargeCpu();
     PutResponse resp;
 
@@ -109,12 +111,14 @@ Server::handlePut(PutRequest request)
         // (idempotence, section 3.3).
         stats_.counter("semel.duplicate_puts").inc();
         resp.result = PutResult::Ok;
+        span.setTag("duplicate");
         co_return resp;
     }
     if (request.version < latest) {
         // Stale write: at-most-once semantics reject it.
         stats_.counter("semel.stale_rejects").inc();
         resp.result = PutResult::StaleRejected;
+        span.setTag("stale");
         co_return resp;
     }
 
@@ -134,12 +138,16 @@ Server::handlePut(PutRequest request)
         // Single-version backends can lose the race to a newer write
         // that slipped in while this one was queued.
         resp.result = PutResult::StaleRejected;
+        span.setTag("stale");
         co_return resp;
     }
     co_await replication->wait();
 
     noteCommitted(request.key, request.version);
     resp.result = PutResult::Ok;
+    // "ok" after the replication quorum: the invariant monitor checks
+    // the semel.repl.write span ended before this ack.
+    span.setTag("ok");
     co_return resp;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "sim/simulator.hh"
 
 namespace sim {
@@ -115,7 +116,16 @@ class Future
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                state->callbacks.push_back([h] { h.resume(); });
+                // Capture the *waiter's* context: the callback is
+                // scheduled from the resolver's stack, and the waiter
+                // must resume inside its own transaction, not the
+                // resolver's.
+                const common::TraceContext ctx =
+                    common::currentTraceContext();
+                state->callbacks.push_back([h, ctx] {
+                    common::TraceContextScope scope(ctx);
+                    h.resume();
+                });
             }
 
             T await_resume() { return *state->value; }
@@ -146,10 +156,17 @@ class Future
             await_suspend(std::coroutine_handle<> h)
             {
                 auto flag = settled;
-                state->callbacks.push_back([h, flag] {
+                // As in the plain awaiter: the value callback runs on
+                // the resolver's stack, so pin the waiter's context.
+                // The timer path needs no capture — schedule() snapshots
+                // the current (waiter's) context itself.
+                const common::TraceContext ctx =
+                    common::currentTraceContext();
+                state->callbacks.push_back([h, flag, ctx] {
                     if (*flag)
                         return;
                     *flag = true;
+                    common::TraceContextScope scope(ctx);
                     h.resume();
                 });
                 state->sim->schedule(timeout, [h, flag] {

@@ -1,15 +1,38 @@
 #include "sim/simulator.hh"
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace sim {
+
+namespace {
+
+/**
+ * Capture the caller's TraceContext so the scheduled event runs under
+ * it — the causal link between "X scheduled Y" and "Y's spans belong
+ * to X's transaction". No-op (no wrapper allocation) when the caller
+ * has no active context.
+ */
+std::function<void()>
+wrapContext(std::function<void()> fn)
+{
+    const common::TraceContext ctx = common::currentTraceContext();
+    if (!ctx.active())
+        return fn;
+    return [ctx, fn = std::move(fn)] {
+        common::TraceContextScope scope(ctx);
+        fn();
+    };
+}
+
+} // namespace
 
 void
 Simulator::schedule(Duration delay, std::function<void()> fn)
 {
     if (delay < 0)
         PANIC("negative event delay " << delay);
-    queue_.schedule(now_ + delay, std::move(fn));
+    queue_.schedule(now_ + delay, wrapContext(std::move(fn)));
 }
 
 void
@@ -17,7 +40,7 @@ Simulator::scheduleAt(Time when, std::function<void()> fn)
 {
     if (when < now_)
         PANIC("event scheduled in the past: " << when << " < " << now_);
-    queue_.schedule(when, std::move(fn));
+    queue_.schedule(when, wrapContext(std::move(fn)));
 }
 
 std::uint64_t
@@ -30,6 +53,10 @@ Simulator::runLoop(Time limit, bool bounded)
             break;
         Event ev = queue_.pop();
         now_ = ev.when;
+        // Each event starts context-free; wrapContext restores a
+        // captured context, and a span left open across a suspension
+        // must not leak into unrelated events.
+        common::setCurrentTraceContext({});
         ev.fn();
         ++processed;
     }

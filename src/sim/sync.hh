@@ -20,9 +20,40 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "sim/simulator.hh"
 
 namespace sim {
+
+namespace detail {
+
+/**
+ * A suspended coroutine plus the TraceContext it was suspended under.
+ * Wakeups are scheduled from the *releaser's* stack (release/unlock/
+ * arrive), so the waiter's context must be pinned at suspension and
+ * restored around the resume — otherwise the waiter would be stamped
+ * with the releaser's transaction.
+ */
+struct Waiter
+{
+    std::coroutine_handle<> handle;
+    common::TraceContext ctx;
+
+    static Waiter
+    suspend(std::coroutine_handle<> h)
+    {
+        return Waiter{h, common::currentTraceContext()};
+    }
+
+    void
+    resume() const
+    {
+        common::TraceContextScope scope(ctx);
+        handle.resume();
+    }
+};
+
+} // namespace detail
 
 /** Counting semaphore with FIFO wakeup. */
 class Semaphore
@@ -55,7 +86,7 @@ class Semaphore
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                sem.waiters_.push_back(h);
+                sem.waiters_.push_back(detail::Waiter::suspend(h));
             }
 
             // The slow path's unit was already reserved by pump().
@@ -85,12 +116,12 @@ class Semaphore
     pump()
     {
         while (count_ > 0 && !waiters_.empty()) {
-            auto h = waiters_.front();
+            auto w = waiters_.front();
             waiters_.pop_front();
             // Reserve the unit here so an acquire() racing in before
             // the scheduled resume cannot steal it.
             --count_;
-            sim_.schedule(0, [h] { h.resume(); });
+            sim_.schedule(0, [w] { w.resume(); });
         }
     }
 
@@ -98,7 +129,7 @@ class Semaphore
 
     Simulator &sim_;
     std::int64_t count_;
-    std::deque<std::coroutine_handle<>> waiters_;
+    std::deque<detail::Waiter> waiters_;
 };
 
 /** Async mutex: exclusive ownership across awaits; FIFO handoff. */
@@ -123,7 +154,7 @@ class Mutex
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                mtx.waiters_.push_back(h);
+                mtx.waiters_.push_back(detail::Waiter::suspend(h));
             }
 
             void await_resume() { mtx.locked_ = true; }
@@ -138,10 +169,10 @@ class Mutex
             PANIC("unlock of unlocked mutex");
         locked_ = false;
         if (!waiters_.empty()) {
-            auto h = waiters_.front();
+            auto w = waiters_.front();
             waiters_.pop_front();
             locked_ = true; // hand off directly; awaiter re-asserts
-            sim_.schedule(0, [h] { h.resume(); });
+            sim_.schedule(0, [w] { w.resume(); });
         }
     }
 
@@ -150,7 +181,7 @@ class Mutex
   private:
     Simulator &sim_;
     bool locked_ = false;
-    std::deque<std::coroutine_handle<>> waiters_;
+    std::deque<detail::Waiter> waiters_;
 };
 
 /** RAII guard for Mutex (use after co_await m.lock()). */
@@ -191,10 +222,10 @@ class Quorum
     arrive()
     {
         ++arrived_;
-        if (arrived_ == needed_ && waiter_) {
-            auto h = waiter_;
-            waiter_ = nullptr;
-            sim_.schedule(0, [h] { h.resume(); });
+        if (arrived_ == needed_ && waiter_.handle) {
+            auto w = waiter_;
+            waiter_ = {};
+            sim_.schedule(0, [w] { w.resume(); });
         }
     }
 
@@ -214,9 +245,9 @@ class Quorum
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                if (q.waiter_)
+                if (q.waiter_.handle)
                     PANIC("Quorum supports a single waiter");
-                q.waiter_ = h;
+                q.waiter_ = detail::Waiter::suspend(h);
             }
 
             void await_resume() const noexcept {}
@@ -228,7 +259,7 @@ class Quorum
     Simulator &sim_;
     std::uint32_t needed_;
     std::uint32_t arrived_ = 0;
-    std::coroutine_handle<> waiter_ = nullptr;
+    detail::Waiter waiter_{};
 };
 
 } // namespace sim

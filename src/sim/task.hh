@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace sim {
 
@@ -277,6 +278,11 @@ spawn(Task<T> task)
     if (!h)
         PANIC("spawn() of an empty task");
     h.promise().detached = true;
+    // The child runs inline up to its first suspension and inherits
+    // the spawner's TraceContext; the scope puts the spawner's context
+    // back afterwards, so a span the child opened (and left open
+    // across its suspension) cannot leak into the spawner's siblings.
+    common::TraceContextScope scope(common::currentTraceContext());
     h.resume();
 }
 

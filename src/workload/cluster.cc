@@ -121,6 +121,9 @@ Cluster::attachTracers()
     common::TraceLog &log = *config_.trace;
     sim::Simulator *sim = &sim_;
     const auto true_now = [sim] { return sim->now(); };
+    // The network has no drifted clock of its own; its net.rpc spans
+    // carry TrueTime in both stamps.
+    net_->tracer().attach(log, net::kNetworkNode, true_now, true_now);
 
     for (std::size_t i = 0; i < servers_.size(); ++i) {
         milana::MilanaServer *server = servers_[i].get();

@@ -195,7 +195,7 @@ TEST(TraceLog, JsonExportRoundTrips)
     std::string error;
     const JsonValue doc = JsonValue::parse(os.str(), &error);
     ASSERT_TRUE(doc.isObject()) << error;
-    EXPECT_EQ(doc.at("schema").asString(), "milana-trace-v1");
+    EXPECT_EQ(doc.at("schema").asString(), "milana-trace-v2");
     EXPECT_EQ(doc.at("recorded").asInt(), 6);
     EXPECT_EQ(doc.at("dropped").asInt(), 2);
     ASSERT_EQ(doc.at("events").size(), 4u);
@@ -217,7 +217,8 @@ TEST(TraceLog, CsvExportHasHeaderAndRows)
     std::istringstream is(os.str());
     std::string header, row;
     ASSERT_TRUE(std::getline(is, header));
-    EXPECT_EQ(header, "seq,true_ns,local_ns,node,kind,span,name,tag,arg");
+    EXPECT_EQ(header, "seq,true_ns,local_ns,node,kind,span,trace,parent,"
+                      "name,tag,arg,arg2");
     ASSERT_TRUE(std::getline(is, row));
     EXPECT_NE(row.find("a;b"), std::string::npos);
     EXPECT_NE(row.find("x;y"), std::string::npos);

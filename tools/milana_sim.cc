@@ -20,10 +20,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 
 #include "../bench/bench_util.hh"
+#include "common/invariant_monitor.hh"
 #include "common/trace.hh"
 #include "workload/cluster.hh"
 #include "workload/retwis.hh"
@@ -96,7 +98,9 @@ main(int argc, char **argv)
             "sets)\n"
             "  --trace=PATH (event trace; .csv extension = CSV, else "
             "JSON)\n"
-            "  --trace-capacity=N (trace ring size, default 262144)\n");
+            "  --trace-capacity=N (trace ring size, default 262144)\n"
+            "  --perfetto=PATH (Chrome/Perfetto trace-event JSON)\n"
+            "  --monitor (online invariant checks; violations exit 1)\n");
         return 0;
     }
 
@@ -114,12 +118,26 @@ main(int argc, char **argv)
     cfg.centiman = args.has("centiman");
 
     const std::string trace_path = args.getString("trace", "");
+    const std::string perfetto_path = args.getString("perfetto", "");
+    const bool monitor_on = args.has("monitor");
     std::unique_ptr<common::TraceLog> trace;
-    if (!trace_path.empty()) {
+    if (!trace_path.empty() || !perfetto_path.empty() || monitor_on) {
         trace = std::make_unique<common::TraceLog>(
             static_cast<std::size_t>(
                 args.getInt("trace-capacity", 262'144)));
         cfg.trace = trace.get();
+    }
+    std::unique_ptr<common::InvariantMonitor> monitor;
+    if (monitor_on) {
+        common::InvariantMonitor::Config mcfg;
+        // Single-version FTLs legitimately return versions newer than
+        // the snapshot and rely on validation to abort.
+        mcfg.checkSnapshotReads =
+            cfg.backend != BackendKind::SingleVersion;
+        mcfg.checkReplicationBeforeAck = cfg.replicasPerShard > 1;
+        monitor = std::make_unique<common::InvariantMonitor>(mcfg,
+                                                             &std::cerr);
+        monitor->attach(*trace);
     }
 
     RetwisConfig retwis;
@@ -229,6 +247,18 @@ main(int argc, char **argv)
                     trace_path.c_str(), trace->size(),
                     static_cast<unsigned long long>(trace->dropped()));
     }
+    if (!perfetto_path.empty()) {
+        std::ofstream os(perfetto_path);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         perfetto_path.c_str());
+            return 1;
+        }
+        trace->writePerfetto(os);
+        std::printf("wrote %s (Perfetto trace-event JSON; open at "
+                    "ui.perfetto.dev)\n",
+                    perfetto_path.c_str());
+    }
 
     bench::Report report("milana_sim");
     report.params()
@@ -263,5 +293,11 @@ main(int argc, char **argv)
     report.addStats("network", cluster.network().stats(), "net.");
     report.addStats("clocksync", cluster.clockStats());
     report.write(args);
+
+    if (monitor != nullptr) {
+        monitor->report(std::cout);
+        if (!monitor->ok())
+            return 1;
+    }
     return 0;
 }
