@@ -9,11 +9,16 @@
  * appear once the inter-client skew approaches/exceeds the storage
  * write latency, so the faster the medium, the tighter the clock
  * discipline must be.
+ *
+ * --jobs=N runs sweep cells on N worker threads (sweep_runner.hh);
+ * output is identical for any N.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
+#include "sweep_runner.hh"
 #include "workload/cluster.hh"
 #include "workload/retwis.hh"
 
@@ -24,6 +29,50 @@ using workload::Cluster;
 using workload::ClusterConfig;
 using workload::RetwisConfig;
 using workload::RetwisWorkload;
+
+namespace {
+
+struct Cell
+{
+    double abortPct = 0;
+    double skewUs = 0;
+};
+
+Cell
+runCell(ClockKind clocks, BackendKind backend, double alpha,
+        std::uint64_t keys, common::Duration warmup,
+        common::Duration measure, std::uint64_t seed)
+{
+    ClusterConfig cfg;
+    cfg.numShards = 1;
+    cfg.replicasPerShard = 3;
+    cfg.numClients = 20;
+    cfg.backend = backend;
+    cfg.clocks = clocks;
+    cfg.numKeys = keys;
+    cfg.seed = seed;
+
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+
+    RetwisConfig retwis;
+    retwis.alpha = alpha;
+    retwis.numKeys = keys;
+    retwis.seed = seed + 100;
+    RetwisWorkload fleet(cluster, retwis);
+    fleet.start();
+    cluster.sim().runUntil(cluster.sim().now() + warmup);
+    fleet.resetMeasurement();
+    cluster.sim().runFor(measure);
+
+    Cell cell;
+    cell.abortPct = fleet.abortRate() * 100.0;
+    cell.skewUs = cluster.avgClientSkew() / 1000.0;
+    return cell;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -50,47 +99,32 @@ main(int argc, char **argv)
                 "DRAM ab%", "MFTL ab%");
     std::printf("----------+--------------+------------+-----------\n");
 
-    for (ClockKind clocks :
-         {ClockKind::Perfect, ClockKind::Dtp, ClockKind::PtpHw,
-          ClockKind::PtpSw, ClockKind::Ntp}) {
-        double aborts[2] = {0, 0};
-        double skew = 0;
-        int idx = 0;
-        for (BackendKind backend :
-             {BackendKind::Dram, BackendKind::Mftl}) {
-            ClusterConfig cfg;
-            cfg.numShards = 1;
-            cfg.replicasPerShard = 3;
-            cfg.numClients = 20;
-            cfg.backend = backend;
-            cfg.clocks = clocks;
-            cfg.numKeys = keys;
-            cfg.seed = seed;
+    const std::vector<ClockKind> clockKinds = {
+        ClockKind::Perfect, ClockKind::Dtp, ClockKind::PtpHw,
+        ClockKind::PtpSw, ClockKind::Ntp};
+    const BackendKind backends[2] = {BackendKind::Dram,
+                                     BackendKind::Mftl};
 
-            Cluster cluster(cfg);
-            cluster.populate();
-            cluster.start();
+    bench::SweepRunner runner(bench::jobsFromArgs(args));
+    std::vector<Cell> cells(clockKinds.size() * 2);
+    runner.run(cells.size(), [&](std::size_t i) {
+        cells[i] = runCell(clockKinds[i / 2], backends[i % 2], alpha,
+                           keys, warmup, measure, seed);
+    });
 
-            RetwisConfig retwis;
-            retwis.alpha = alpha;
-            retwis.numKeys = keys;
-            retwis.seed = seed + 100;
-            RetwisWorkload fleet(cluster, retwis);
-            fleet.start();
-            cluster.sim().runUntil(cluster.sim().now() + warmup);
-            fleet.resetMeasurement();
-            cluster.sim().runFor(measure);
-            aborts[idx++] = fleet.abortRate() * 100.0;
-            skew = cluster.avgClientSkew() / 1000.0;
-        }
+    for (std::size_t c = 0; c < clockKinds.size(); ++c) {
+        const Cell &dram = cells[c * 2];
+        const Cell &mftl = cells[c * 2 + 1];
+        // The serial loop reported the skew realized by the last
+        // backend run (MFTL); keep that.
         std::printf("%9s | %12.2f | %9.2f%% | %9.2f%%\n",
-                    workload::clockName(clocks), skew, aborts[0],
-                    aborts[1]);
+                    workload::clockName(clockKinds[c]), mftl.skewUs,
+                    dram.abortPct, mftl.abortPct);
         report.addRow()
-            .set("clocks", workload::clockName(clocks))
-            .set("avg_skew_us", skew)
-            .set("dram_abort_pct", aborts[0])
-            .set("mftl_abort_pct", aborts[1]);
+            .set("clocks", workload::clockName(clockKinds[c]))
+            .set("avg_skew_us", mftl.skewUs)
+            .set("dram_abort_pct", dram.abortPct)
+            .set("mftl_abort_pct", mftl.abortPct);
     }
     std::printf(
         "\nShape: disciplines whose skew sits below the write window\n"

@@ -7,19 +7,71 @@
  * Expected trade-off: a short timer wastes page capacity on
  * mostly-empty pages (more program operations, more GC) but bounds put
  * latency; a long timer packs densely but parks puts in the buffer.
+ *
+ * --jobs=N runs sweep cells on N worker threads (sweep_runner.hh);
+ * output is identical for any N.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "flash/ssd.hh"
 #include "ftl/mftl.hh"
 #include "sim/simulator.hh"
+#include "sweep_runner.hh"
 #include "workload/micro.hh"
 
 using common::kMicrosecond;
 using common::kSecond;
 using common::toMicros;
+
+namespace {
+
+struct Cell
+{
+    double kReqPerSec = 0;
+    double getLatencyUs = 0;
+    double putLatencyUs = 0;
+    std::uint64_t pagesWritten = 0;
+};
+
+Cell
+runCell(common::Duration timeout, std::uint64_t keys,
+        common::Duration warmup, common::Duration measure)
+{
+    sim::Simulator sim;
+    flash::SsdDevice ssd(sim,
+                         flash::Geometry::scaledFor(keys * 512, 0.35));
+    ftl::Mftl::Config cfg;
+    cfg.packTimeout = timeout;
+    ftl::Mftl mftl(sim, ssd, cfg);
+
+    workload::MicroConfig mcfg;
+    mcfg.getPercent = 95;
+    mcfg.workers = 48;
+    mcfg.numKeys = keys;
+    workload::MicroBench micro(sim, mftl, mcfg);
+    micro.populate();
+    mftl.start();
+    micro.start();
+    sim.runUntil(sim.now() + warmup);
+    micro.resetMeasurement();
+    mftl.stats().reset();
+    sim.runFor(measure);
+
+    Cell cell;
+    cell.kReqPerSec = micro.throughput(measure) / 1000.0;
+    cell.getLatencyUs = toMicros(
+        static_cast<common::Duration>(micro.getLatency().mean()));
+    cell.putLatencyUs = toMicros(
+        static_cast<common::Duration>(micro.putLatency().mean()));
+    cell.pagesWritten =
+        mftl.stats().counterValue("mftl.pages_written");
+    return cell;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -44,51 +96,28 @@ main(int argc, char **argv)
     std::printf("-------------+------------+------------+------------+"
                 "-------------\n");
 
-    for (const common::Duration timeout :
-         {100 * kMicrosecond, 250 * kMicrosecond, 500 * kMicrosecond,
-          1000 * kMicrosecond, 2000 * kMicrosecond,
-          4000 * kMicrosecond}) {
-        sim::Simulator sim;
-        flash::SsdDevice ssd(
-            sim, flash::Geometry::scaledFor(keys * 512, 0.35));
-        ftl::Mftl::Config cfg;
-        cfg.packTimeout = timeout;
-        ftl::Mftl mftl(sim, ssd, cfg);
+    const std::vector<common::Duration> timeouts = {
+        100 * kMicrosecond,  250 * kMicrosecond, 500 * kMicrosecond,
+        1000 * kMicrosecond, 2000 * kMicrosecond, 4000 * kMicrosecond};
 
-        workload::MicroConfig mcfg;
-        mcfg.getPercent = 95;
-        mcfg.workers = 48;
-        mcfg.numKeys = keys;
-        workload::MicroBench micro(sim, mftl, mcfg);
-        micro.populate();
-        mftl.start();
-        micro.start();
-        sim.runUntil(sim.now() + warmup);
-        micro.resetMeasurement();
-        mftl.stats().reset();
-        sim.runFor(measure);
+    bench::SweepRunner runner(bench::jobsFromArgs(args));
+    std::vector<Cell> cells(timeouts.size());
+    runner.run(timeouts.size(), [&](std::size_t i) {
+        cells[i] = runCell(timeouts[i], keys, warmup, measure);
+    });
 
+    for (std::size_t i = 0; i < timeouts.size(); ++i) {
+        const Cell &cell = cells[i];
         std::printf("%9.1f ms | %10.0f | %10.1f | %10.1f | %12llu\n",
-                    common::toMillis(timeout),
-                    micro.throughput(measure) / 1000.0,
-                    toMicros(static_cast<common::Duration>(
-                        micro.getLatency().mean())),
-                    toMicros(static_cast<common::Duration>(
-                        micro.putLatency().mean())),
-                    static_cast<unsigned long long>(
-                        mftl.stats().counterValue(
-                            "mftl.pages_written")));
+                    common::toMillis(timeouts[i]), cell.kReqPerSec,
+                    cell.getLatencyUs, cell.putLatencyUs,
+                    static_cast<unsigned long long>(cell.pagesWritten));
         report.addRow()
-            .set("pack_timeout_ms", common::toMillis(timeout))
-            .set("kreq_per_sec", micro.throughput(measure) / 1000.0)
-            .set("get_latency_us",
-                 toMicros(static_cast<common::Duration>(
-                     micro.getLatency().mean())))
-            .set("put_latency_us",
-                 toMicros(static_cast<common::Duration>(
-                     micro.putLatency().mean())))
-            .set("pages_written",
-                 mftl.stats().counterValue("mftl.pages_written"));
+            .set("pack_timeout_ms", common::toMillis(timeouts[i]))
+            .set("kreq_per_sec", cell.kReqPerSec)
+            .set("get_latency_us", cell.getLatencyUs)
+            .set("put_latency_us", cell.putLatencyUs)
+            .set("pages_written", cell.pagesWritten);
     }
     report.write(args);
     return 0;

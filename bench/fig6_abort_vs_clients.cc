@@ -9,6 +9,9 @@
  * stays well below SFTL's, and the gap widens with contention.
  *
  * Extra flags beyond the common set:
+ *   --jobs=N              run sweep cells on N worker threads (see
+ *                         sweep_runner.hh; output is identical for
+ *                         any N, including the --json report)
  *   --trace=PATH          rerun one cell with tracing on and dump the
  *                         event log (.csv extension = CSV, else JSON)
  *   --perfetto=PATH       same rerun, exported as Chrome/Perfetto
@@ -27,8 +30,10 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_util.hh"
+#include "sweep_runner.hh"
 #include "common/invariant_monitor.hh"
 #include "common/trace.hh"
 #include "workload/cluster.hh"
@@ -123,25 +128,42 @@ main(int argc, char **argv)
                 "SFTL", "MFTL", "", "MFTL/SFTL");
     std::printf("------------------+-------------------+-----------\n");
 
+    struct Cell
+    {
+        double alpha;
+        std::uint32_t clients;
+        BackendKind backend;
+    };
+    std::vector<Cell> cells;
     for (double alpha : {0.6, 0.8, 0.99}) {
         for (std::uint32_t clients : {4u, 8u, 16u, 32u}) {
-            const double sftl =
-                runCell(BackendKind::SingleVersion, clients, alpha,
-                        keys, warmup, measure, seed)
-                    .abortPct;
-            const double mftl = runCell(BackendKind::Mftl, clients,
-                                        alpha, keys, warmup, measure,
-                                        seed)
-                                    .abortPct;
-            std::printf("%7.2f %9u | %7.2f%% %7.2f%% | %8.2f\n", alpha,
-                        clients, sftl, mftl,
-                        sftl > 0 ? mftl / sftl : 0.0);
-            report.addRow()
-                .set("alpha", alpha)
-                .set("clients", clients)
-                .set("sftl_abort_pct", sftl)
-                .set("mftl_abort_pct", mftl);
+            cells.push_back({alpha, clients, BackendKind::SingleVersion});
+            cells.push_back({alpha, clients, BackendKind::Mftl});
         }
+    }
+
+    bench::SweepRunner runner(bench::jobsFromArgs(args));
+    std::vector<double> abortPct(cells.size());
+    runner.run(cells.size(), [&](std::size_t i) {
+        const Cell &c = cells[i];
+        abortPct[i] = runCell(c.backend, c.clients, c.alpha, keys,
+                              warmup, measure, seed)
+                          .abortPct;
+    });
+
+    // Cells come in SFTL/MFTL pairs per (alpha, clients) coordinate.
+    for (std::size_t i = 0; i < cells.size(); i += 2) {
+        const Cell &c = cells[i];
+        const double sftl = abortPct[i];
+        const double mftl = abortPct[i + 1];
+        std::printf("%7.2f %9u | %7.2f%% %7.2f%% | %8.2f\n", c.alpha,
+                    c.clients, sftl, mftl,
+                    sftl > 0 ? mftl / sftl : 0.0);
+        report.addRow()
+            .set("alpha", c.alpha)
+            .set("clients", c.clients)
+            .set("sftl_abort_pct", sftl)
+            .set("mftl_abort_pct", mftl);
     }
     std::printf(
         "\nPaper (Figure 6): multi-versioning cuts abort rates because\n"

@@ -15,11 +15,16 @@
  *  - VFTL slightly worse than MFTL (lower effective write latency).
  * Also prints the realized average client skew per discipline
  * (paper: NTP 1.51 ms, software PTP 53.2 us).
+ *
+ * --jobs=N runs sweep cells on N worker threads (sweep_runner.hh);
+ * output is identical for any N.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
+#include "sweep_runner.hh"
 #include "workload/cluster.hh"
 #include "workload/retwis.hh"
 
@@ -110,37 +115,53 @@ main(int argc, char **argv)
     std::printf("--------+-----------------+-----------------+"
                 "----------------\n");
 
-    double skew_ptp = 0, skew_ntp = 0;
+    struct Coord
+    {
+        double alpha;
+        BackendKind backend;
+    };
+    std::vector<Coord> coords;
     for (double alpha : {0.5, 0.7, 0.9, 0.99}) {
-        double cells[3][2];
-        int b = 0;
         for (BackendKind backend :
-             {BackendKind::Dram, BackendKind::Vftl, BackendKind::Mftl}) {
-            const Cell ptp = runCell(backend, ClockKind::PtpSw, alpha,
-                                     keys, clients, warmup, measure,
-                                     seed);
-            const Cell ntp = runCell(backend, ClockKind::Ntp, alpha,
-                                     keys, clients, warmup, measure,
-                                     seed);
-            cells[b][0] = ptp.abortPct;
-            cells[b][1] = ntp.abortPct;
-            skew_ptp = ptp.skewUs;
-            skew_ntp = ntp.skewUs;
+             {BackendKind::Dram, BackendKind::Vftl, BackendKind::Mftl})
+            coords.push_back({alpha, backend});
+    }
+
+    bench::SweepRunner runner(bench::jobsFromArgs(args));
+    std::vector<Cell> ptpCells(coords.size());
+    std::vector<Cell> ntpCells(coords.size());
+    runner.run(coords.size() * 2, [&](std::size_t i) {
+        const Coord &c = coords[i / 2];
+        const ClockKind clocks =
+            (i % 2 == 0) ? ClockKind::PtpSw : ClockKind::Ntp;
+        Cell cell = runCell(c.backend, clocks, c.alpha, keys, clients,
+                            warmup, measure, seed);
+        ((i % 2 == 0) ? ptpCells : ntpCells)[i / 2] = cell;
+    });
+
+    for (std::size_t row = 0; row < coords.size(); row += 3) {
+        for (std::size_t b = 0; b < 3; ++b) {
+            const Coord &c = coords[row + b];
             report.addRow()
-                .set("alpha", alpha)
-                .set("backend", workload::backendName(backend))
-                .set("ptp_abort_pct", ptp.abortPct)
-                .set("ntp_abort_pct", ntp.abortPct)
-                .set("ptp_skew_us", ptp.skewUs)
-                .set("ntp_skew_us", ntp.skewUs);
-            ++b;
+                .set("alpha", c.alpha)
+                .set("backend", workload::backendName(c.backend))
+                .set("ptp_abort_pct", ptpCells[row + b].abortPct)
+                .set("ntp_abort_pct", ntpCells[row + b].abortPct)
+                .set("ptp_skew_us", ptpCells[row + b].skewUs)
+                .set("ntp_skew_us", ntpCells[row + b].skewUs);
         }
         std::printf(
             "%7.2f | %6.2f%% %6.2f%% | %6.2f%% %6.2f%% | %6.2f%% "
             "%6.2f%%\n",
-            alpha, cells[0][0], cells[0][1], cells[1][0], cells[1][1],
-            cells[2][0], cells[2][1]);
+            coords[row].alpha, ptpCells[row].abortPct,
+            ntpCells[row].abortPct, ptpCells[row + 1].abortPct,
+            ntpCells[row + 1].abortPct, ptpCells[row + 2].abortPct,
+            ntpCells[row + 2].abortPct);
     }
+    // Matches the serial loop's behaviour: the skew summary comes from
+    // the last cell run (alpha=0.99, MFTL).
+    const double skew_ptp = ptpCells.back().skewUs;
+    const double skew_ntp = ntpCells.back().skewUs;
     std::printf("\nRealized average client skew: PTP %.1f us, NTP %.1f "
                 "us\n(paper section 5.2: PTP-sw 53.2 us, NTP 1510 "
                 "us)\n",

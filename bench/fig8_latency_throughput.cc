@@ -12,11 +12,16 @@
  *    round trips from every read-only commit);
  *  - MFTL ~ +15% throughput / -10% latency vs VFTL;
  *  - VFTL *with* LV beats MFTL *without* LV.
+ *
+ * --jobs=N runs sweep cells on N worker threads (sweep_runner.hh);
+ * output is identical for any N.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
+#include "sweep_runner.hh"
 #include "workload/cluster.hh"
 #include "workload/retwis.hh"
 
@@ -106,24 +111,41 @@ main(int argc, char **argv)
                 "txn/sec", "latency(ms)");
     std::printf("---------------------+------------------------\n");
 
+    struct Coord
+    {
+        BackendKind backend;
+        bool lv;
+        std::uint32_t clients;
+    };
+    std::vector<Coord> coords;
     for (BackendKind backend :
          {BackendKind::Dram, BackendKind::Vftl, BackendKind::Mftl}) {
         for (bool lv : {true, false}) {
-            for (std::uint32_t clients : {8u, 16u, 32u, 64u, 96u}) {
-                const Cell cell = runCell(backend, lv, clients, keys,
-                                          warmup, measure, seed);
-                std::printf("%5s %4s %8u | %10.0f %12.2f\n",
-                            workload::backendName(backend),
-                            lv ? "on" : "off", clients, cell.txnPerSec,
-                            cell.latencyMs);
-                report.addRow()
-                    .set("backend", workload::backendName(backend))
-                    .set("local_validation", lv)
-                    .set("clients", clients)
-                    .set("txn_per_sec", cell.txnPerSec)
-                    .set("latency_ms", cell.latencyMs);
-            }
+            for (std::uint32_t clients : {8u, 16u, 32u, 64u, 96u})
+                coords.push_back({backend, lv, clients});
         }
+    }
+
+    bench::SweepRunner runner(bench::jobsFromArgs(args));
+    std::vector<Cell> cells(coords.size());
+    runner.run(coords.size(), [&](std::size_t i) {
+        const Coord &c = coords[i];
+        cells[i] = runCell(c.backend, c.lv, c.clients, keys, warmup,
+                           measure, seed);
+    });
+
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+        const Coord &c = coords[i];
+        std::printf("%5s %4s %8u | %10.0f %12.2f\n",
+                    workload::backendName(c.backend),
+                    c.lv ? "on" : "off", c.clients, cells[i].txnPerSec,
+                    cells[i].latencyMs);
+        report.addRow()
+            .set("backend", workload::backendName(c.backend))
+            .set("local_validation", c.lv)
+            .set("clients", c.clients)
+            .set("txn_per_sec", cells[i].txnPerSec)
+            .set("latency_ms", cells[i].latencyMs);
     }
     std::printf(
         "\nPaper (Figure 8): local validation: up to +55%% throughput\n"

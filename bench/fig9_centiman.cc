@@ -14,11 +14,16 @@
  *    alpha rises to 0.8, forcing remote validation, while MILANA
  *    validates 100% of read-only transactions locally and ends ~20%
  *    ahead; abort rates stay similar.
+ *
+ * --jobs=N runs sweep cells on N worker threads (sweep_runner.hh);
+ * output is identical for any N.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
+#include "sweep_runner.hh"
 #include "workload/cluster.hh"
 #include "workload/retwis.hh"
 
@@ -122,11 +127,21 @@ main(int argc, char **argv)
     std::printf("--------+-----------------------+-----------+"
                 "------------------\n");
 
-    for (double alpha : {0.4, 0.5, 0.6, 0.7, 0.8}) {
-        const Cell milana = runCell(false, alpha, keys, clients,
-                                    warmup, measure, seed);
-        const Cell centi = runCell(true, alpha, keys, clients, warmup,
-                                   measure, seed);
+    const std::vector<double> alphas = {0.4, 0.5, 0.6, 0.7, 0.8};
+    bench::SweepRunner runner(bench::jobsFromArgs(args));
+    std::vector<Cell> milanaCells(alphas.size());
+    std::vector<Cell> centiCells(alphas.size());
+    runner.run(alphas.size() * 2, [&](std::size_t i) {
+        const bool centiman = (i % 2 != 0);
+        Cell cell = runCell(centiman, alphas[i / 2], keys, clients,
+                            warmup, measure, seed);
+        (centiman ? centiCells : milanaCells)[i / 2] = cell;
+    });
+
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+        const double alpha = alphas[i];
+        const Cell &milana = milanaCells[i];
+        const Cell &centi = centiCells[i];
         std::printf("%7.2f | %10.0f %10.0f | %8.1f%% | %7.2f%% "
                     "%7.2f%%\n",
                     alpha, milana.txnPerSec, centi.txnPerSec,

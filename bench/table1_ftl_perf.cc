@@ -13,12 +13,17 @@
  *    fills pages sooner, shortening the pack wait);
  *  - at the most write-heavy mix the extra GC lets VFTL edge ahead in
  *    throughput.
+ *
+ * --jobs=N runs sweep cells on N worker threads (sweep_runner.hh);
+ * output is identical for any N.
  */
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_util.hh"
+#include "sweep_runner.hh"
 #include "common/types.hh"
 #include "flash/ssd.hh"
 #include "ftl/mftl.hh"
@@ -122,11 +127,21 @@ main(int argc, char **argv)
     std::printf("-------+---------------------+---------------------+"
                 "--------------------\n");
 
-    for (double get_pct : {100.0, 75.0, 50.0, 25.0}) {
-        const CellResult vftl = runCell(false, get_pct, keys, workers,
-                                        warmup, measure, seed);
-        const CellResult mftl = runCell(true, get_pct, keys, workers,
-                                        warmup, measure, seed);
+    const std::vector<double> getPcts = {100.0, 75.0, 50.0, 25.0};
+    bench::SweepRunner runner(bench::jobsFromArgs(args));
+    std::vector<CellResult> vftlCells(getPcts.size());
+    std::vector<CellResult> mftlCells(getPcts.size());
+    runner.run(getPcts.size() * 2, [&](std::size_t i) {
+        const bool unified = (i % 2 != 0);
+        CellResult r = runCell(unified, getPcts[i / 2], keys, workers,
+                               warmup, measure, seed);
+        (unified ? mftlCells : vftlCells)[i / 2] = r;
+    });
+
+    for (std::size_t i = 0; i < getPcts.size(); ++i) {
+        const double get_pct = getPcts[i];
+        const CellResult &vftl = vftlCells[i];
+        const CellResult &mftl = mftlCells[i];
         std::printf(
             "%6.0f | %9.0f %9.0f | %9.1f %9.1f | %9.1f %9.1f\n",
             get_pct, vftl.kReqPerSec, mftl.kReqPerSec,

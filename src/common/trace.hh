@@ -75,10 +75,12 @@ struct TraceContext
 };
 
 namespace detail {
-/** The ambient context. The simulator is single-threaded by design
- *  (see sim/simulator.hh), so a plain global is correct; the run loop
- *  clears it before every event and propagation wrappers restore it. */
-inline TraceContext g_traceContext;
+/** The ambient context. Each simulator is single-threaded (see
+ *  sim/simulator.hh), but parallel sweeps (bench::SweepRunner) run one
+ *  simulator per worker thread — thread_local keeps every cell's
+ *  ambient context private. The run loop installs each event's
+ *  captured context before it fires. */
+inline thread_local TraceContext g_traceContext;
 } // namespace detail
 
 inline const TraceContext &

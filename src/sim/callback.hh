@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Small-buffer-optimized callback for the DES hot path.
+ *
+ * sim::Callback replaces std::function<void()> on the event path. The
+ * difference that matters: captures up to kInlineSize bytes (48) live
+ * inside the Callback itself — no heap allocation per scheduled event.
+ * std::function's SBO on common ABIs tops out at 16 bytes, which this
+ * codebase's real timers (GC sweeps capture `this` + epoch + stats,
+ * sync waiters carry a handle + TraceContext) routinely exceed, so the
+ * old path paid one allocation per schedule().
+ *
+ * Move-only by design: an event fires exactly once, so there is
+ * nothing to share, and copyability is what forces std::function to
+ * heap-allocate copyable wrappers. Larger captures still work — they
+ * fall back to a single heap block and the Callback just carries the
+ * pointer.
+ */
+
+#ifndef SIM_CALLBACK_HH
+#define SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace sim {
+
+class Callback
+{
+  public:
+    /** Sized to hold a coroutine handle + TraceContext + two pointers
+     *  (the largest capture on the sim/net hot paths) inline. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    Callback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Callback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    Callback(F &&fn) // NOLINT: implicit by design (drop-in for lambdas)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(fn));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage_) =
+                new Fn(std::forward<F>(fn));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    Callback(Callback &&other) noexcept { moveFrom(other); }
+
+    Callback &
+    operator=(Callback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    Callback(const Callback &) = delete;
+    Callback &operator=(const Callback &) = delete;
+
+    ~Callback() { reset(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        if (!ops_)
+            PANIC("invoking an empty sim::Callback");
+        ops_->invoke(storage_);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into @p dst from @p src, destroying @p src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) {
+            Fn *s = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *dst, void *src) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+    };
+
+    void
+    moveFrom(Callback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace sim
+
+#endif // SIM_CALLBACK_HH

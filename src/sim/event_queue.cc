@@ -5,28 +5,115 @@
 namespace sim {
 
 void
-EventQueue::schedule(Time when, std::function<void()> fn)
+EventQueue::siftUp(std::size_t i)
 {
-    heap_.push(Event{when, nextSeq_++, std::move(fn)});
+    const HeapEntry e = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / kArity;
+        if (!firesBefore(e, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i, HeapEntry e)
+{
+    const std::size_t n = heap_.size();
+    // "Bounce" strategy: sift the hole to a leaf choosing the min child
+    // at each level without comparing against e — e is the displaced
+    // tail and nearly always belongs near the bottom — then bubble it
+    // up (usually zero moves). Saves one compare per level versus the
+    // textbook early-exit sift.
+    std::size_t hole = i;
+    for (;;) {
+        const std::size_t first = kArity * hole + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t end =
+            first + kArity < n ? first + kArity : n;
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (firesBefore(heap_[c], heap_[best]))
+                best = c;
+        }
+        heap_[hole] = heap_[best];
+        hole = best;
+    }
+    heap_[hole] = e;
+    siftUp(hole);
+}
+
+void
+EventQueue::schedule(Time when, const common::TraceContext &ctx,
+                     Callback &&fn)
+{
+    if (when == curTime_) {
+        // Same-instant fast path: FIFO order *is* seq order, because
+        // appends happen in schedule order.
+        bucket_.push_back(Event{when, nextSeq_++, ctx, std::move(fn)});
+        return;
+    }
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        slots_[slot].ctx = ctx;
+        slots_[slot].fn = std::move(fn);
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(Slot{ctx, std::move(fn)});
+    }
+    heap_.push_back(HeapEntry{when, nextSeq_++, slot});
+    siftUp(heap_.size() - 1);
 }
 
 Time
 EventQueue::nextTime() const
 {
+    if (bucketHead_ < bucket_.size())
+        return curTime_;
     if (heap_.empty())
         PANIC("nextTime() on empty event queue");
-    return heap_.top().when;
+    return heap_.front().when;
+}
+
+Event
+EventQueue::popHeap()
+{
+    const HeapEntry entry = heap_.front();
+    const HeapEntry tail = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0, tail);
+    Slot &slot = slots_[entry.slot];
+    Event ev{entry.when, entry.seq, slot.ctx, std::move(slot.fn)};
+    freeSlots_.push_back(entry.slot);
+    return ev;
 }
 
 Event
 EventQueue::pop()
 {
+    if (bucketHead_ < bucket_.size()) {
+        // Heap events at the bucket instant were scheduled before time
+        // reached it (schedule() would have bucketed them otherwise),
+        // so their seqs precede every bucket entry's: drain them first.
+        if (!heap_.empty() && heap_.front().when == curTime_)
+            return popHeap();
+        Event ev = std::move(bucket_[bucketHead_++]);
+        if (bucketHead_ == bucket_.size()) {
+            bucket_.clear(); // keeps capacity for the next burst
+            bucketHead_ = 0;
+        }
+        return ev;
+    }
     if (heap_.empty())
         PANIC("pop() on empty event queue");
-    // priority_queue::top() returns const&; move via const_cast is the
-    // standard idiom to avoid copying the std::function.
-    Event ev = std::move(const_cast<Event &>(heap_.top()));
-    heap_.pop();
+    Event ev = popHeap();
+    curTime_ = ev.when;
     return ev;
 }
 

@@ -10,15 +10,40 @@
  * Future<T>::withTimeout(d) races the value against a timer and yields
  * std::optional<T> — the building block for RPC timeouts, 2PC decision
  * timeouts, and the cooperative termination protocol.
+ *
+ * Hot-path design (see PERFORMANCE.md):
+ *
+ *  - FutureState is pool-allocated from the owning simulator's
+ *    free-list (sim/pool.hh) and intrusively refcounted by StateRef —
+ *    no std::make_shared control block, no atomic refcounts (each
+ *    simulator is single-threaded). A consequence: futures must not
+ *    outlive their Simulator (already implied — resolving schedules
+ *    onto it).
+ *
+ *  - Waiters are stored as plain records (handle + TraceContext), one
+ *    inline + overflow vector, instead of per-waiter std::function
+ *    closures. Resolution schedules each waiter via
+ *    scheduleWithContext, so the waiter resumes inside its own
+ *    transaction without a context-capturing wrapper.
+ *
+ *  - withTimeout's double-resume guard is a monotone ticket in the
+ *    pooled state instead of a heap std::shared_ptr<bool> per
+ *    combinator: each timed wait claims a ticket, and whichever side
+ *    (value or timer) removes it from the outstanding set first wins.
+ *    Tickets are never reused, so a stale loser event can never
+ *    confuse a later waiter. Up to four concurrent timed waiters are
+ *    tracked inline; more spill into a vector.
  */
 
 #ifndef SIM_FUTURE_HH
 #define SIM_FUTURE_HH
 
+#include <array>
 #include <coroutine>
-#include <functional>
-#include <memory>
+#include <cstdint>
+#include <new>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -30,15 +55,83 @@ namespace sim {
 namespace detail {
 
 template <typename T>
+class StateRef;
+
+template <typename T>
 struct FutureState
 {
     explicit FutureState(Simulator &s) : sim(&s) {}
 
+    /** A suspended consumer: where to resume, under which context,
+     *  and (for timed waiters) which pending ticket guards it. */
+    struct Waiter
+    {
+        std::coroutine_handle<> handle;
+        common::TraceContext ctx;
+        std::uint64_t ticket = 0; ///< 0 = plain (untimed) waiter
+    };
+
     Simulator *sim;
+    std::uint32_t refs = 1;
+    /** Next timed-wait ticket (monotone, never reused; 0 reserved). */
+    std::uint64_t nextTicket = 1;
+    /** Outstanding timed waits: inline slots (0 = free) + spillover.
+     *  A ticket present = its waiter has not been resumed yet. */
+    std::array<std::uint64_t, 4> timedInline{};
+    std::vector<std::uint64_t> timedSpill;
     std::optional<T> value;
-    std::vector<std::function<void()>> callbacks;
+    /** First waiter inline — the overwhelmingly common case is exactly
+     *  one consumer — spillover in a vector. */
+    Waiter first;
+    std::vector<Waiter> rest;
 
     bool resolved() const { return value.has_value(); }
+
+    void
+    addWaiter(Waiter w)
+    {
+        if (!first.handle)
+            first = w;
+        else
+            rest.push_back(w);
+    }
+
+    /** Register a new timed wait; returns its (never reused) ticket. */
+    std::uint64_t
+    claimTicket()
+    {
+        const std::uint64_t ticket = nextTicket++;
+        for (std::uint64_t &slot : timedInline) {
+            if (slot == 0) {
+                slot = ticket;
+                return ticket;
+            }
+        }
+        timedSpill.push_back(ticket);
+        return ticket;
+    }
+
+    /** Remove @p ticket from the outstanding set. Returns true if it
+     *  was present — i.e. the caller won the value-vs-timer race and
+     *  should resume the waiter. */
+    bool
+    settleTicket(std::uint64_t ticket)
+    {
+        for (std::uint64_t &slot : timedInline) {
+            if (slot == ticket) {
+                slot = 0;
+                return true;
+            }
+        }
+        for (std::uint64_t &t : timedSpill) {
+            if (t == ticket) {
+                t = timedSpill.back();
+                timedSpill.pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
 
     void
     resolve(T v)
@@ -46,11 +139,120 @@ struct FutureState
         if (resolved())
             PANIC("promise resolved twice");
         value = std::move(v);
-        auto cbs = std::move(callbacks);
-        callbacks.clear();
-        for (auto &cb : cbs)
-            sim->schedule(0, std::move(cb));
+        if (first.handle) {
+            fire(first);
+            first = {};
+        }
+        if (!rest.empty()) {
+            std::vector<Waiter> waiters = std::move(rest);
+            rest.clear();
+            for (const Waiter &w : waiters)
+                fire(w);
+        }
     }
+
+  private:
+    void
+    fire(const Waiter &w)
+    {
+        if (w.ticket == 0) {
+            // Plain waiter: the awaiter object in the suspended frame
+            // keeps this state alive until resumption, so the event
+            // only needs the handle.
+            sim->scheduleWithContext(0, w.ctx,
+                                     [h = w.handle] { h.resume(); });
+            return;
+        }
+        // Timed waiter: race against its timer via the pending set.
+        StateRef<T> self(this);
+        sim->scheduleWithContext(
+            0, w.ctx,
+            [self = std::move(self), h = w.handle, ticket = w.ticket] {
+                if (self.get()->settleTicket(ticket))
+                    h.resume();
+                // else its timer already resumed it
+            });
+    }
+};
+
+/**
+ * Intrusive refcounted handle to a pool-allocated FutureState. The
+ * non-atomic refcount is correct because a simulator (and everything
+ * scheduled on it) is confined to one thread.
+ */
+template <typename T>
+class StateRef
+{
+  public:
+    StateRef() = default;
+
+    /** Adopt an additional reference to @p s (increments). */
+    explicit StateRef(FutureState<T> *s) : p_(s)
+    {
+        if (p_)
+            ++p_->refs;
+    }
+
+    /** Allocate a fresh state (refcount 1) from @p sim's pool. */
+    static StateRef
+    make(Simulator &sim)
+    {
+        void *mem = sim.pool().allocate(sizeof(FutureState<T>));
+        StateRef r;
+        r.p_ = ::new (mem) FutureState<T>(sim);
+        return r;
+    }
+
+    StateRef(const StateRef &other) : p_(other.p_)
+    {
+        if (p_)
+            ++p_->refs;
+    }
+
+    StateRef(StateRef &&other) noexcept
+        : p_(std::exchange(other.p_, nullptr))
+    {
+    }
+
+    StateRef &
+    operator=(const StateRef &other)
+    {
+        StateRef copy(other);
+        std::swap(p_, copy.p_);
+        return *this;
+    }
+
+    StateRef &
+    operator=(StateRef &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            p_ = std::exchange(other.p_, nullptr);
+        }
+        return *this;
+    }
+
+    ~StateRef() { release(); }
+
+    FutureState<T> *get() const { return p_; }
+    FutureState<T> *operator->() const { return p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+
+  private:
+    void
+    release() noexcept
+    {
+        if (!p_)
+            return;
+        if (--p_->refs == 0) {
+            Simulator *sim = p_->sim;
+            p_->~FutureState<T>();
+            sim->pool().deallocate(p_, sizeof(FutureState<T>));
+        }
+        p_ = nullptr;
+    }
+
+    FutureState<T> *p_ = nullptr;
 };
 
 } // namespace detail
@@ -64,7 +266,7 @@ class Promise
 {
   public:
     explicit Promise(Simulator &sim)
-        : state_(std::make_shared<detail::FutureState<T>>(sim))
+        : state_(detail::StateRef<T>::make(sim))
     {
     }
 
@@ -76,7 +278,7 @@ class Promise
     Future<T> future() const;
 
   private:
-    std::shared_ptr<detail::FutureState<T>> state_;
+    detail::StateRef<T> state_;
 };
 
 /** Consumer side. Copyable; all copies see the same completion. */
@@ -86,12 +288,11 @@ class Future
   public:
     Future() = default;
 
-    explicit Future(std::shared_ptr<detail::FutureState<T>> state)
-        : state_(std::move(state))
+    explicit Future(detail::StateRef<T> state) : state_(std::move(state))
     {
     }
 
-    bool valid() const { return state_ != nullptr; }
+    bool valid() const { return static_cast<bool>(state_); }
     bool ready() const { return state_ && state_->resolved(); }
 
     /** The resolved value; only valid when ready(). */
@@ -109,23 +310,18 @@ class Future
     {
         struct Awaiter
         {
-            std::shared_ptr<detail::FutureState<T>> state;
+            detail::StateRef<T> state;
 
             bool await_ready() const noexcept { return state->resolved(); }
 
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                // Capture the *waiter's* context: the callback is
-                // scheduled from the resolver's stack, and the waiter
-                // must resume inside its own transaction, not the
-                // resolver's.
-                const common::TraceContext ctx =
-                    common::currentTraceContext();
-                state->callbacks.push_back([h, ctx] {
-                    common::TraceContextScope scope(ctx);
-                    h.resume();
-                });
+                // Record the *waiter's* context: resolution happens on
+                // the resolver's stack, and the waiter must resume
+                // inside its own transaction, not the resolver's.
+                state->addWaiter(
+                    {h, common::currentTraceContext(), 0});
             }
 
             T await_resume() { return *state->value; }
@@ -144,37 +340,29 @@ class Future
     {
         struct Awaiter
         {
-            std::shared_ptr<detail::FutureState<T>> state;
+            detail::StateRef<T> state;
             Duration timeout;
-            // Guards against double resume when both the value and the
-            // timer fire; shared with the two callbacks.
-            std::shared_ptr<bool> settled = std::make_shared<bool>(false);
 
             bool await_ready() const noexcept { return state->resolved(); }
 
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                auto flag = settled;
-                // As in the plain awaiter: the value callback runs on
-                // the resolver's stack, so pin the waiter's context.
-                // The timer path needs no capture — schedule() snapshots
-                // the current (waiter's) context itself.
-                const common::TraceContext ctx =
-                    common::currentTraceContext();
-                state->callbacks.push_back([h, flag, ctx] {
-                    if (*flag)
-                        return;
-                    *flag = true;
-                    common::TraceContextScope scope(ctx);
-                    h.resume();
-                });
-                state->sim->schedule(timeout, [h, flag] {
-                    if (*flag)
-                        return;
-                    *flag = true;
-                    h.resume();
-                });
+                detail::FutureState<T> *s = state.get();
+                // A ticket in the pooled state guards against double
+                // resume when both the value and the timer fire (the
+                // old code heap-allocated a shared_ptr<bool> per
+                // combinator for this).
+                const std::uint64_t ticket = s->claimTicket();
+                s->addWaiter({h, common::currentTraceContext(), ticket});
+                // The timer event inherits the caller's (waiter's)
+                // context via schedule()'s snapshot.
+                s->sim->schedule(
+                    timeout, [state = this->state, h, ticket] {
+                        if (state.get()->settleTicket(ticket))
+                            h.resume();
+                        // else the value won the race
+                    });
             }
 
             std::optional<T>
@@ -191,7 +379,7 @@ class Future
     }
 
   private:
-    std::shared_ptr<detail::FutureState<T>> state_;
+    detail::StateRef<T> state_;
 };
 
 template <typename T>

@@ -5,42 +5,34 @@
 
 namespace sim {
 
-namespace {
-
-/**
- * Capture the caller's TraceContext so the scheduled event runs under
- * it — the causal link between "X scheduled Y" and "Y's spans belong
- * to X's transaction". No-op (no wrapper allocation) when the caller
- * has no active context.
- */
-std::function<void()>
-wrapContext(std::function<void()> fn)
-{
-    const common::TraceContext ctx = common::currentTraceContext();
-    if (!ctx.active())
-        return fn;
-    return [ctx, fn = std::move(fn)] {
-        common::TraceContextScope scope(ctx);
-        fn();
-    };
-}
-
-} // namespace
-
 void
-Simulator::schedule(Duration delay, std::function<void()> fn)
+Simulator::schedule(Duration delay, Callback fn)
 {
     if (delay < 0)
         PANIC("negative event delay " << delay);
-    queue_.schedule(now_ + delay, wrapContext(std::move(fn)));
+    // Snapshot the caller's context into the event — the causal link
+    // between "X scheduled Y" and "Y's spans belong to X's
+    // transaction". The run loop installs it before fn runs.
+    queue_.schedule(now_ + delay, common::currentTraceContext(),
+                    std::move(fn));
 }
 
 void
-Simulator::scheduleAt(Time when, std::function<void()> fn)
+Simulator::scheduleAt(Time when, Callback fn)
 {
     if (when < now_)
         PANIC("event scheduled in the past: " << when << " < " << now_);
-    queue_.schedule(when, wrapContext(std::move(fn)));
+    queue_.schedule(when, common::currentTraceContext(), std::move(fn));
+}
+
+void
+Simulator::scheduleWithContext(Duration delay,
+                               const common::TraceContext &ctx,
+                               Callback fn)
+{
+    if (delay < 0)
+        PANIC("negative event delay " << delay);
+    queue_.schedule(now_ + delay, ctx, std::move(fn));
 }
 
 std::uint64_t
@@ -53,13 +45,16 @@ Simulator::runLoop(Time limit, bool bounded)
             break;
         Event ev = queue_.pop();
         now_ = ev.when;
-        // Each event starts context-free; wrapContext restores a
-        // captured context, and a span left open across a suspension
-        // must not leak into unrelated events.
-        common::setCurrentTraceContext({});
+        // Each event runs under exactly the context it was scheduled
+        // with; a span left open across a suspension cannot leak into
+        // unrelated events.
+        common::setCurrentTraceContext(ev.ctx);
         ev.fn();
         ++processed;
     }
+    // Leave no event's context dangling for harness code that runs
+    // between run calls.
+    common::setCurrentTraceContext({});
     if (bounded && now_ < limit)
         now_ = limit;
     return processed;

@@ -31,8 +31,9 @@ namespace detail {
  * A suspended coroutine plus the TraceContext it was suspended under.
  * Wakeups are scheduled from the *releaser's* stack (release/unlock/
  * arrive), so the waiter's context must be pinned at suspension and
- * restored around the resume — otherwise the waiter would be stamped
- * with the releaser's transaction.
+ * the wakeup event scheduled under it (scheduleWithContext) —
+ * otherwise the waiter would be stamped with the releaser's
+ * transaction.
  */
 struct Waiter
 {
@@ -45,11 +46,12 @@ struct Waiter
         return Waiter{h, common::currentTraceContext()};
     }
 
+    /** Schedule the resume as a zero-delay event under the waiter's
+     *  own context; the event captures only the handle. */
     void
-    resume() const
+    wake(Simulator &sim) const
     {
-        common::TraceContextScope scope(ctx);
-        handle.resume();
+        sim.scheduleWithContext(0, ctx, [h = handle] { h.resume(); });
     }
 };
 
@@ -121,7 +123,7 @@ class Semaphore
             // Reserve the unit here so an acquire() racing in before
             // the scheduled resume cannot steal it.
             --count_;
-            sim_.schedule(0, [w] { w.resume(); });
+            w.wake(sim_);
         }
     }
 
@@ -172,7 +174,7 @@ class Mutex
             auto w = waiters_.front();
             waiters_.pop_front();
             locked_ = true; // hand off directly; awaiter re-asserts
-            sim_.schedule(0, [w] { w.resume(); });
+            w.wake(sim_);
         }
     }
 
@@ -225,7 +227,7 @@ class Quorum
         if (arrived_ == needed_ && waiter_.handle) {
             auto w = waiter_;
             waiter_ = {};
-            sim_.schedule(0, [w] { w.resume(); });
+            w.wake(sim_);
         }
     }
 
