@@ -12,6 +12,13 @@
  *   --jobs=N              run sweep cells on N worker threads (see
  *                         sweep_runner.hh; output is identical for
  *                         any N, including the --json report)
+ *   --sim-threads=N       run EACH cell's one scenario on N worker
+ *                         threads (conservative time windows, see
+ *                         sim/partition.hh). Output is byte-identical
+ *                         for every N >= 1 — but differs from the
+ *                         default N=0 single-simulator mode, whose
+ *                         RNG streams are laid out differently.
+ *                         Composes with --jobs (cells x partitions).
  *   --trace=PATH          rerun one cell with tracing on and dump the
  *                         event log (.csv extension = CSV, else JSON)
  *   --perfetto=PATH       same rerun, exported as Chrome/Perfetto
@@ -60,7 +67,7 @@ CellResult
 runCell(BackendKind backend, std::uint32_t clients, double alpha,
         std::uint64_t keys, common::Duration warmup,
         common::Duration measure, std::uint64_t seed,
-        common::TraceLog *trace = nullptr)
+        std::uint32_t sim_threads, common::TraceLog *trace = nullptr)
 {
     ClusterConfig cfg;
     cfg.numShards = 1;
@@ -71,6 +78,7 @@ runCell(BackendKind backend, std::uint32_t clients, double alpha,
     cfg.numKeys = keys;
     cfg.seed = seed;
     cfg.trace = trace;
+    cfg.simThreads = sim_threads;
     // Same-machine "network": IPC-scale latency.
     cfg.net.oneWayMean = 5 * common::kMicrosecond;
     cfg.net.oneWaySigma = 1 * common::kMicrosecond;
@@ -87,10 +95,11 @@ runCell(BackendKind backend, std::uint32_t clients, double alpha,
     RetwisWorkload fleet(cluster, retwis);
     fleet.start();
 
-    cluster.sim().runUntil(cluster.sim().now() + warmup);
+    cluster.runUntil(cluster.now() + warmup);
     fleet.resetMeasurement();
     cluster.resetStats(); // align counters with the measured window
-    cluster.sim().runFor(measure);
+    cluster.runFor(measure);
+    cluster.finishTrace();
 
     CellResult result;
     result.abortPct = fleet.abortRate() * 100.0;
@@ -111,6 +120,8 @@ main(int argc, char **argv)
     const auto measure =
         args.getInt("seconds", args.has("full") ? 60 : 4) * kSecond;
     const std::uint64_t seed = args.getInt("seed", 1);
+    const auto sim_threads =
+        static_cast<std::uint32_t>(args.getInt("sim-threads", 0));
 
     bench::Report report("fig6_abort_vs_clients");
     report.params()
@@ -119,6 +130,9 @@ main(int argc, char **argv)
         .set("seconds", common::toSeconds(measure))
         .set("seed", seed)
         .set("full", args.has("full"));
+    // Like --jobs, --sim-threads is deliberately NOT a report param:
+    // the report must be byte-identical for every thread count (CI
+    // cmp's the --sim-threads=1 and =8 reports).
 
     bench::printHeader(
         "Figure 6: Transaction abort rate (%) vs number of clients\n"
@@ -147,7 +161,7 @@ main(int argc, char **argv)
     runner.run(cells.size(), [&](std::size_t i) {
         const Cell &c = cells[i];
         abortPct[i] = runCell(c.backend, c.clients, c.alpha, keys,
-                              warmup, measure, seed)
+                              warmup, measure, seed, sim_threads)
                           .abortPct;
     });
 
@@ -198,7 +212,7 @@ main(int argc, char **argv)
                     trace_alpha, trace_clients);
         const CellResult cell =
             runCell(BackendKind::Mftl, trace_clients, trace_alpha, keys,
-                    warmup, measure, seed, &log);
+                    warmup, measure, seed, sim_threads, &log);
         if (!trace_path.empty()) {
             std::ofstream os(trace_path);
             if (!os) {

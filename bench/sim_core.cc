@@ -15,6 +15,13 @@
  *                         iteration — exercises FutureState allocation.
  *  - timeout_race:        Future::withTimeout where the value beats the
  *                         timer — the combinator's bookkeeping cost.
+ *  - partitioned_ring:    4 partitions under the PartitionedScheduler
+ *                         (one worker thread — this measures the
+ *                         window/merge machinery, not parallel
+ *                         speed-up): self-rescheduling timers plus one
+ *                         cross-partition post per tick around the
+ *                         ring. Tracks the mailbox + window-barrier
+ *                         overhead per event.
  *
  * Heap traffic is measured by interposing global operator new/delete in
  * this binary (counts + bytes), so "allocs/event" is exact, not
@@ -34,8 +41,10 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "sim/future.hh"
+#include "sim/partition.hh"
 #include "sim/simulator.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
@@ -339,6 +348,84 @@ timeoutRace(std::uint64_t target_events)
     return r;
 }
 
+/**
+ * Conservative-window scheduler overhead: each partition runs
+ * self-rescheduling timers whose every tick also posts one event to
+ * the next partition around the ring, at exactly the lookahead bound
+ * (the worst case for window count — every window carries mail).
+ */
+struct RingTick
+{
+    sim::PartitionedScheduler *sched;
+    std::uint64_t *received; ///< dst partition's remote-event counter
+    std::uint32_t part;
+    Duration period;
+
+    void
+    operator()() const
+    {
+        sim::Simulator &sim = sched->partition(part);
+        const std::uint32_t dst =
+            (part + 1) % sched->numPartitions();
+        std::uint64_t *r = received;
+        sched->post(part, dst, sim.now() + sched->lookahead(),
+                    common::TraceContext{}, [r] { ++*r; });
+        sim.schedule(period, RingTick{*this});
+    }
+};
+
+ScenarioResult
+partitionedRing(std::uint64_t target_events)
+{
+    constexpr std::uint32_t kParts = 4;
+    constexpr std::uint32_t kTimersPerPart = 16;
+    // One worker thread: the number is the coordination overhead of
+    // the window/mailbox machinery itself, comparable against
+    // timer_ring, not a parallel-speed-up figure.
+    sim::PartitionedScheduler sched(kParts, 1, kMicrosecond);
+
+    std::vector<std::uint64_t> received(kParts, 0);
+    for (std::uint32_t p = 0; p < kParts; ++p) {
+        for (std::uint32_t i = 0; i < kTimersPerPart; ++i) {
+            const Duration period = (1 + i % 7) * kMicrosecond;
+            sched.partition(p).schedule(
+                period, RingTick{&sched, &received[(p + 1) % kParts],
+                                 p, period});
+        }
+    }
+    sched.runUntil(200 * kMicrosecond); // warm-up
+
+    // Each timer contributes ~2 events (tick + remote delivery); with
+    // 4x16 timers on periods {1..7}us that is ~2 * 64/3.7 ~ 35
+    // events/us of virtual time.
+    const Duration horizon =
+        static_cast<Duration>(target_events / 35 + 1) * kMicrosecond;
+
+    const AllocSnapshot before = AllocSnapshot::take();
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t processed =
+        sched.runUntil(sched.now() + horizon);
+    const double secs = wallSeconds(start);
+    const AllocSnapshot after = AllocSnapshot::take();
+
+    std::uint64_t delivered = 0;
+    for (const std::uint64_t r : received)
+        delivered += r;
+    if (delivered == 0)
+        PANIC("partitioned_ring delivered no cross-partition events");
+
+    ScenarioResult r;
+    r.name = "partitioned_ring";
+    r.events = processed;
+    r.seconds = secs;
+    r.allocsPerEvent =
+        static_cast<double>(after.calls - before.calls) /
+        static_cast<double>(processed ? processed : 1);
+    r.bytesPerEvent = static_cast<double>(after.bytes - before.bytes) /
+                      static_cast<double>(processed ? processed : 1);
+    return r;
+}
+
 } // namespace
 
 int
@@ -364,6 +451,7 @@ main(int argc, char **argv)
     results.push_back(sameInstantBurst(target));
     results.push_back(futurePingpong(target));
     results.push_back(timeoutRace(target));
+    results.push_back(partitionedRing(target));
 
     for (const ScenarioResult &r : results) {
         const double eps =

@@ -5,9 +5,63 @@
 
 namespace net {
 
+Fabric::Fabric(sim::PartitionedScheduler &sched, const NetConfig &config)
+    : sched_(sched), config_(config),
+      nets_(sched.numPartitions(), nullptr)
+{
+}
+
+void
+Fabric::registerNetwork(std::uint32_t p, Network *net)
+{
+    nets_[p] = net;
+}
+
+void
+Fabric::setPartition(NodeId node, std::uint32_t partition)
+{
+    if (partitionOf_.size() <= node)
+        partitionOf_.resize(node + 1, 0);
+    partitionOf_[node] = partition;
+}
+
+void
+Fabric::setNodeDown(NodeId node, bool down)
+{
+    if (down_.size() <= node)
+        down_.resize(node + 1, false);
+    down_[node] = down;
+}
+
+void
+Fabric::setLinkBroken(NodeId a, NodeId b, bool broken)
+{
+    const auto link = std::minmax(a, b);
+    if (broken)
+        brokenLinks_.insert({link.first, link.second});
+    else
+        brokenLinks_.erase({link.first, link.second});
+}
+
+bool
+Fabric::deliverable(NodeId from, NodeId to) const
+{
+    if (nodeDown(from) || nodeDown(to))
+        return false;
+    const auto link = std::minmax(from, to);
+    return !brokenLinks_.count({link.first, link.second});
+}
+
 Network::Network(sim::Simulator &sim, const NetConfig &config,
                  common::Rng rng)
     : sim_(sim), config_(config), rng_(rng)
+{
+}
+
+Network::Network(sim::Simulator &sim, const NetConfig &config,
+                 common::Rng rng, Fabric &fabric, std::uint32_t partition)
+    : sim_(sim), config_(config), rng_(rng), fabric_(&fabric),
+      partition_(partition)
 {
 }
 
@@ -40,6 +94,10 @@ Network::sampleDelay(NodeId from, NodeId to)
 void
 Network::setNodeDown(NodeId node, bool down)
 {
+    if (fabric_ != nullptr) {
+        fabric_->setNodeDown(node, down);
+        return;
+    }
     if (down_.size() <= node)
         down_.resize(node + 1, false);
     down_[node] = down;
@@ -48,12 +106,18 @@ Network::setNodeDown(NodeId node, bool down)
 bool
 Network::nodeDown(NodeId node) const
 {
+    if (fabric_ != nullptr)
+        return fabric_->nodeDown(node);
     return node < down_.size() && down_[node];
 }
 
 void
 Network::setLinkBroken(NodeId a, NodeId b, bool broken)
 {
+    if (fabric_ != nullptr) {
+        fabric_->setLinkBroken(a, b, broken);
+        return;
+    }
     const auto link = std::minmax(a, b);
     if (broken)
         brokenLinks_.insert({link.first, link.second});
@@ -64,6 +128,8 @@ Network::setLinkBroken(NodeId a, NodeId b, bool broken)
 bool
 Network::deliverable(NodeId from, NodeId to) const
 {
+    if (fabric_ != nullptr)
+        return fabric_->deliverable(from, to);
     if (nodeDown(from) || nodeDown(to))
         return false;
     const auto link = std::minmax(from, to);

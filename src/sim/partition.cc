@@ -1,0 +1,219 @@
+#include "sim/partition.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sim {
+
+PartitionedScheduler::PartitionedScheduler(std::uint32_t partitions,
+                                           std::uint32_t threads,
+                                           Duration lookahead)
+    : lookahead_(lookahead),
+      threads_(std::clamp<std::uint32_t>(threads, 1,
+                                         std::max(1u, partitions)))
+{
+    if (partitions == 0)
+        PANIC("PartitionedScheduler needs at least one partition");
+    if (lookahead <= 0)
+        PANIC("PartitionedScheduler lookahead must be positive, got "
+              << lookahead);
+    sims_.reserve(partitions);
+    mail_.reserve(partitions);
+    postSeq_.assign(partitions, 0);
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+        sims_.push_back(std::make_unique<Simulator>());
+        mail_.push_back(std::make_unique<Mailbox>());
+    }
+    if (threads_ > 1) {
+        workers_.reserve(threads_);
+        for (std::uint32_t i = 0; i < threads_; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+PartitionedScheduler::~PartitionedScheduler()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            shutdown_ = true;
+        }
+        cvStart_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+}
+
+void
+PartitionedScheduler::post(std::uint32_t src, std::uint32_t dst,
+                           Time when, const common::TraceContext &ctx,
+                           Callback fn)
+{
+    if (dst >= sims_.size())
+        PANIC("post to unknown partition " << dst);
+    // The (src, srcSeq) pair makes the merge order total and thread-
+    // timing independent; srcSeq is src-thread-confined (see header).
+    const std::uint64_t seq = postSeq_[src]++;
+    Mailbox &mb = *mail_[dst];
+    std::lock_guard<std::mutex> lk(mb.mu);
+    mb.incoming.push_back({when, src, seq, ctx, std::move(fn)});
+}
+
+void
+PartitionedScheduler::mergeMailboxes()
+{
+    for (std::uint32_t dst = 0; dst < mail_.size(); ++dst) {
+        Mailbox &mb = *mail_[dst];
+        {
+            std::lock_guard<std::mutex> lk(mb.mu);
+            if (mb.incoming.empty())
+                continue;
+            mb.incoming.swap(mb.draining);
+        }
+        // Canonical order: the interleaving concurrent posters produced
+        // under the mutex is thread-timing dependent; this key is not.
+        std::sort(mb.draining.begin(), mb.draining.end(),
+                  [](const RemoteEvent &a, const RemoteEvent &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.srcSeq < b.srcSeq;
+                  });
+        Simulator &sim = *sims_[dst];
+        for (RemoteEvent &ev : mb.draining)
+            sim.scheduleAtWithContext(ev.when, ev.ctx, std::move(ev.fn));
+        mb.draining.clear(); // keeps capacity for the next window
+    }
+}
+
+std::uint64_t
+PartitionedScheduler::runWindow(Time bound)
+{
+    if (workers_.empty()) {
+        std::uint64_t n = 0;
+        for (auto &sim : sims_)
+            n += sim->runUntil(bound);
+        return n;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    windowBound_ = bound;
+    cursor_.store(0, std::memory_order_relaxed);
+    windowProcessed_.store(0, std::memory_order_relaxed);
+    pendingWorkers_ = static_cast<std::uint32_t>(workers_.size());
+    ++generation_;
+    cvStart_.notify_all();
+    cvDone_.wait(lk, [this] { return pendingWorkers_ == 0; });
+    return windowProcessed_.load(std::memory_order_relaxed);
+}
+
+void
+PartitionedScheduler::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Time bound;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cvStart_.wait(lk, [this, seen] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            bound = windowBound_;
+        }
+        std::uint64_t n = 0;
+        for (;;) {
+            const std::uint32_t p =
+                cursor_.fetch_add(1, std::memory_order_relaxed);
+            if (p >= sims_.size())
+                break;
+            n += sims_[p]->runUntil(bound);
+        }
+        windowProcessed_.fetch_add(n, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--pendingWorkers_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+std::uint64_t
+PartitionedScheduler::runUntil(Time t)
+{
+    if (t < now_)
+        PANIC("PartitionedScheduler::runUntil into the past");
+    std::uint64_t processed = 0;
+    for (;;) {
+        // Merge first: the last window's posts may hold the earliest
+        // pending event.
+        mergeMailboxes();
+        bool any = false;
+        Time lb = 0;
+        for (auto &sim : sims_) {
+            if (sim->pendingEvents() == 0)
+                continue;
+            // Safe single-threaded: no window is running here.
+            const Time next = sim->nextEventTime();
+            if (!any || next < lb)
+                lb = next;
+            any = true;
+        }
+        if (!any || lb > t)
+            break;
+        // Window [lb, lb + lookahead), capped at t (inclusive bound
+        // for Simulator::runUntil, hence the -1).
+        const Time bound = std::min(t, lb + lookahead_ - 1);
+        processed += runWindow(bound);
+        now_ = bound;
+    }
+    // Align every partition's clock with the requested horizon (no
+    // events remain at or before t).
+    for (auto &sim : sims_)
+        processed += sim->runUntil(t);
+    now_ = t;
+    return processed;
+}
+
+std::uint64_t
+PartitionedScheduler::runFor(Duration d, Duration grace)
+{
+    std::uint64_t n = runUntil(now_ + d);
+    requestStop();
+    n += runUntil(now_ + grace);
+    return n;
+}
+
+void
+PartitionedScheduler::requestStop()
+{
+    for (auto &sim : sims_)
+        sim->requestStop();
+}
+
+std::size_t
+PartitionedScheduler::pendingEvents() const
+{
+    std::size_t n = 0;
+    for (const auto &sim : sims_)
+        n += sim->pendingEvents();
+    for (const auto &mb : mail_)
+        n += mb->incoming.size();
+    return n;
+}
+
+void
+PartitionedScheduler::alignNow()
+{
+    Time t = now_;
+    for (const auto &sim : sims_)
+        t = std::max(t, sim->now());
+    for (auto &sim : sims_)
+        sim->runUntil(t);
+    now_ = t;
+}
+
+} // namespace sim

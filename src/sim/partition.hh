@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Conservative parallel DES: several Simulators (partitions) advancing
+ * one scenario together, synchronized with barrier time windows.
+ *
+ * The classic null-message/barrier-window scheme specialized to this
+ * codebase's network model:
+ *
+ *  - Every simulated node is assigned to exactly one partition; each
+ *    partition is a private, ordinary sim::Simulator (its own event
+ *    queue, BlockPool, clock). Code running inside a partition never
+ *    touches another partition's simulator directly.
+ *
+ *  - Cross-partition interaction goes through thread-safe mailboxes
+ *    (post()). A posted event must fire at least `lookahead` after the
+ *    sender's current window — in practice lookahead is the network's
+ *    minimum link latency (net::NetConfig::minLatency), which every
+ *    cross-partition message delay respects by construction.
+ *
+ *  - The window loop: merge mailboxes, compute the global lower bound
+ *    LB = min over partitions of the next event time, then let every
+ *    partition advance independently through [LB, LB + lookahead).
+ *    Any message generated inside the window is stamped at or after
+ *    its sender's current time plus lookahead, i.e. at or after the
+ *    window end — so no partition can receive an event in its past,
+ *    and each window is embarrassingly parallel.
+ *
+ * Determinism (see CONCURRENCY.md): results are byte-identical for
+ * every worker-thread count, because (a) partition assignment and the
+ * window schedule depend only on event timestamps, never on thread
+ * timing; (b) mailbox items are merged in the total order
+ * (when, source partition, per-source sequence), erasing the arrival
+ * interleaving of concurrent posters; (c) each partition's queue then
+ * breaks same-instant ties with its own (when, seq) order as usual.
+ *
+ * threads == 1 runs the window loop inline on the calling thread with
+ * no pool at all — the mode CTest uses as the determinism reference.
+ */
+
+#ifndef SIM_PARTITION_HH
+#define SIM_PARTITION_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/trace.hh"
+#include "common/types.hh"
+#include "sim/simulator.hh"
+
+namespace sim {
+
+class PartitionedScheduler
+{
+  public:
+    /**
+     * @param partitions Number of partitions (>= 1). Fixed by the
+     *        scenario topology — NOT by the thread count — so results
+     *        do not depend on how many workers execute the windows.
+     * @param threads    Worker threads (clamped to [1, partitions]).
+     *        1 = run windows inline, no pool.
+     * @param lookahead  Minimum cross-partition event delay (> 0); the
+     *        window width. post() targets below it are a bug.
+     */
+    PartitionedScheduler(std::uint32_t partitions, std::uint32_t threads,
+                         Duration lookahead);
+    ~PartitionedScheduler();
+
+    PartitionedScheduler(const PartitionedScheduler &) = delete;
+    PartitionedScheduler &operator=(const PartitionedScheduler &) = delete;
+
+    std::uint32_t numPartitions() const
+    {
+        return static_cast<std::uint32_t>(sims_.size());
+    }
+    std::uint32_t threads() const { return threads_; }
+    Duration lookahead() const { return lookahead_; }
+
+    Simulator &partition(std::uint32_t p) { return *sims_[p]; }
+
+    /** Scenario time: the bound every partition has been run to. */
+    Time now() const { return now_; }
+
+    /**
+     * Thread-safe cross-partition event: run @p fn on partition @p dst
+     * at absolute time @p when, under TraceContext @p ctx. Must be
+     * called from the thread currently executing partition @p src (or
+     * from the driver thread while no window is running). @p when must
+     * be at or after the end of the current window — guaranteed when
+     * the delay is >= lookahead(), which the network's minimum link
+     * latency enforces for every message.
+     */
+    void post(std::uint32_t src, std::uint32_t dst, Time when,
+              const common::TraceContext &ctx, Callback fn);
+
+    /**
+     * Advance the whole scenario to time @p t via parallel windows,
+     * then set every partition's clock to @p t. Mirrors
+     * Simulator::runUntil. @return events processed (all partitions).
+     */
+    std::uint64_t runUntil(Time t);
+
+    /** Mirrors Simulator::runFor: run @p d, raise stop-requested on
+     *  every partition, drain @p grace more. */
+    std::uint64_t runFor(Duration d, Duration grace = common::kSecond);
+
+    /** Raise the stop-requested flag on every partition. */
+    void requestStop();
+    bool stopRequested() const { return sims_[0]->stopRequested(); }
+
+    std::size_t pendingEvents() const;
+
+    /**
+     * Fast-forward lagging partitions to the time of the furthest one
+     * (single-threaded, driver thread only). Used after one partition
+     * was run directly — e.g. Cluster::populate runs the storage
+     * partition to completion before the others have any events.
+     */
+    void alignNow();
+
+  private:
+    struct RemoteEvent
+    {
+        Time when = 0;
+        std::uint32_t src = 0;
+        std::uint64_t srcSeq = 0;
+        common::TraceContext ctx;
+        Callback fn;
+    };
+
+    /** One per destination partition. `incoming` is guarded by `mu`;
+     *  `draining` is driver-thread scratch that recycles capacity. */
+    struct Mailbox
+    {
+        std::mutex mu;
+        std::vector<RemoteEvent> incoming;
+        std::vector<RemoteEvent> draining;
+    };
+
+    /** Drain every mailbox into its destination queue in
+     *  (when, src, srcSeq) order. Driver thread, windows quiescent. */
+    void mergeMailboxes();
+
+    /** Run every partition up to and including @p bound. */
+    std::uint64_t runWindow(Time bound);
+
+    void workerLoop();
+
+    std::vector<std::unique_ptr<Simulator>> sims_;
+    std::vector<std::unique_ptr<Mailbox>> mail_;
+    /** Per-source post counter; only the thread running that source
+     *  partition touches it (windows hand partitions to exactly one
+     *  worker, and window boundaries synchronize). */
+    std::vector<std::uint64_t> postSeq_;
+    Duration lookahead_;
+    Time now_ = 0;
+
+    // Worker pool (empty when threads_ == 1: windows run inline).
+    std::uint32_t threads_;
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    std::uint64_t generation_ = 0;
+    std::uint32_t pendingWorkers_ = 0;
+    Time windowBound_ = 0;
+    bool shutdown_ = false;
+    /** Work-stealing cursor: workers claim partition indices. */
+    std::atomic<std::uint32_t> cursor_{0};
+    std::atomic<std::uint64_t> windowProcessed_{0};
+};
+
+} // namespace sim
+
+#endif // SIM_PARTITION_HH

@@ -57,7 +57,35 @@ Cluster::Cluster(const ClusterConfig &config)
       shardMap_(config.numShards),
       master_(shardMap_)
 {
-    net_ = std::make_unique<net::Network>(sim_, config_.net, rng_.fork());
+    if (config_.simThreads > 0) {
+        // Partitioned mode. The partition COUNT is fixed by the
+        // topology (storage stack on partition 0 — server-to-server
+        // RPCs stay window-local — clients round-robin over up to 7
+        // client partitions), never by the thread count: that is what
+        // makes the output byte-identical for every simThreads >= 1.
+        if (config_.clocks != ClockKind::Perfect)
+            PANIC("simThreads requires ClockKind::Perfect (the clock "
+                  "ensemble couples all clients through one simulator)");
+        if (config_.centiman)
+            PANIC("simThreads does not support Centiman validation "
+                  "(shared validator state)");
+        clientPartitions_ =
+            std::min<std::uint32_t>(std::max(config_.numClients, 1u), 7);
+        const std::uint32_t parts = 1 + clientPartitions_;
+        sched_ = std::make_unique<sim::PartitionedScheduler>(
+            parts, config_.simThreads, config_.net.minLatency);
+        fabric_ = std::make_unique<net::Fabric>(*sched_, config_.net);
+        for (std::uint32_t p = 0; p < parts; ++p) {
+            partNets_.push_back(std::make_unique<net::Network>(
+                sched_->partition(p), config_.net, rng_.fork(),
+                *fabric_, p));
+            fabric_->registerNetwork(p, partNets_.back().get());
+        }
+        fabric_->setPartition(net::kNetworkNode, 0);
+    } else {
+        net_ = std::make_unique<net::Network>(sim_, config_.net,
+                                              rng_.fork());
+    }
 
     // Storage nodes: node id = shard * replicas + replica.
     for (common::ShardId shard = 0; shard < config_.numShards; ++shard) {
@@ -77,6 +105,12 @@ Cluster::Cluster(const ClusterConfig &config)
         primary_server.setBackups(std::move(backups));
     }
 
+    // Storage nodes (and their RPC peers) all live on partition 0.
+    if (fabric_ != nullptr) {
+        for (const auto &server : servers_)
+            fabric_->setPartition(server->nodeId(), 0);
+    }
+
     // Client clocks.
     if (config_.clocks != ClockKind::Perfect) {
         ensemble_ = std::make_unique<clocksync::ClockEnsemble>(
@@ -92,22 +126,27 @@ Cluster::Cluster(const ClusterConfig &config)
     txn_config.localValidation = config_.localValidation;
     for (std::uint32_t i = 0; i < config_.numClients; ++i) {
         const common::NodeId node = 1000 + i;
+        const std::uint32_t part = clientPartition(i);
+        sim::Simulator &client_sim =
+            sched_ != nullptr ? sched_->partition(part) : sim_;
+        if (fabric_ != nullptr)
+            fabric_->setPartition(node, part);
         clocksync::Clock *clock = nullptr;
         if (ensemble_ != nullptr) {
             clock = &ensemble_->clock(i);
         } else {
             perfectClocks_.push_back(
-                std::make_unique<clocksync::PerfectClock>(sim_));
+                std::make_unique<clocksync::PerfectClock>(client_sim));
             clock = perfectClocks_.back().get();
         }
         if (config_.centiman) {
             clients_.push_back(std::make_unique<milana::CentimanClient>(
-                sim_, *net_, node, i + 1, *clock, master_, directory_,
-                client_config, txn_config, centimanSystem_));
+                client_sim, netFor(part), node, i + 1, *clock, master_,
+                directory_, client_config, txn_config, centimanSystem_));
         } else {
             clients_.push_back(std::make_unique<milana::MilanaClient>(
-                sim_, *net_, node, i + 1, *clock, master_, directory_,
-                client_config, txn_config));
+                client_sim, netFor(part), node, i + 1, *clock, master_,
+                directory_, client_config, txn_config));
         }
     }
 
@@ -115,20 +154,130 @@ Cluster::Cluster(const ClusterConfig &config)
         attachTracers();
 }
 
+sim::Simulator &
+Cluster::sim()
+{
+    if (sched_ != nullptr)
+        PANIC("Cluster::sim() has no meaning with simThreads > 0; use "
+              "the now()/runUntil()/runFor() facade");
+    return sim_;
+}
+
+sim::Simulator &
+Cluster::rootSim()
+{
+    return sched_ != nullptr ? sched_->partition(0) : sim_;
+}
+
+std::uint32_t
+Cluster::clientPartition(std::uint32_t i) const
+{
+    return sched_ != nullptr ? 1 + i % clientPartitions_ : 0;
+}
+
+net::Network &
+Cluster::netFor(std::uint32_t p)
+{
+    return sched_ != nullptr ? *partNets_[p] : *net_;
+}
+
+net::Network &
+Cluster::network()
+{
+    return netFor(0);
+}
+
+common::TraceLog &
+Cluster::traceFor(std::uint32_t p)
+{
+    return sched_ != nullptr ? *partLogs_[p] : *config_.trace;
+}
+
+common::Time
+Cluster::now() const
+{
+    return sched_ != nullptr ? sched_->now() : sim_.now();
+}
+
+std::uint64_t
+Cluster::runUntil(common::Time t)
+{
+    return sched_ != nullptr ? sched_->runUntil(t) : sim_.runUntil(t);
+}
+
+std::uint64_t
+Cluster::runFor(common::Duration d, common::Duration grace)
+{
+    return sched_ != nullptr ? sched_->runFor(d, grace)
+                             : sim_.runFor(d, grace);
+}
+
+void
+Cluster::requestStop()
+{
+    if (sched_ != nullptr)
+        sched_->requestStop();
+    else
+        sim_.requestStop();
+}
+
+sim::Simulator &
+Cluster::clientSim(std::uint32_t i)
+{
+    return sched_ != nullptr ? sched_->partition(clientPartition(i))
+                             : sim_;
+}
+
+void
+Cluster::finishTrace()
+{
+    if (sched_ == nullptr || config_.trace == nullptr)
+        return;
+    std::vector<const common::TraceLog *> parts;
+    for (const auto &log : partLogs_)
+        parts.push_back(log.get());
+    common::mergeTraceLogs(parts, *config_.trace);
+    for (auto &log : partLogs_)
+        log->clear();
+}
+
 void
 Cluster::attachTracers()
 {
-    common::TraceLog &log = *config_.trace;
-    sim::Simulator *sim = &sim_;
-    const auto true_now = [sim] { return sim->now(); };
-    // The network has no drifted clock of its own; its net.rpc spans
-    // carry TrueTime in both stamps.
-    net_->tracer().attach(log, net::kNetworkNode, true_now, true_now);
+    if (sched_ != nullptr) {
+        // Each partition appends to its own log (appends happen on
+        // worker threads); ids are strided so span/trace ids stay
+        // globally unique and thread-count independent. finishTrace()
+        // merges the logs deterministically after the run.
+        const std::uint32_t parts = sched_->numPartitions();
+        for (std::uint32_t p = 0; p < parts; ++p) {
+            partLogs_.push_back(std::make_unique<common::TraceLog>(
+                config_.trace->capacity()));
+            partLogs_.back()->strideIds(p + 1, parts);
+        }
+        for (std::uint32_t p = 0; p < parts; ++p) {
+            sim::Simulator *psim = &sched_->partition(p);
+            const auto ptrue = [psim] { return psim->now(); };
+            partNets_[p]->tracer().attach(*partLogs_[p],
+                                          net::kNetworkNode, ptrue,
+                                          ptrue);
+        }
+    }
+
+    sim::Simulator *root = &rootSim();
+    const auto true_now = [root] { return root->now(); };
+    if (sched_ == nullptr) {
+        // The network has no drifted clock of its own; its net.rpc
+        // spans carry TrueTime in both stamps.
+        net_->tracer().attach(*config_.trace, net::kNetworkNode,
+                              true_now, true_now);
+    }
 
     for (std::size_t i = 0; i < servers_.size(); ++i) {
         milana::MilanaServer *server = servers_[i].get();
         clocksync::Clock *clock = serverClocks_[i].get();
         const auto local_now = [clock] { return clock->localNow(); };
+        common::TraceLog &log = traceFor(0);
         server->tracer().attach(log, server->nodeId(), true_now,
                                 local_now);
         if (devices_[i] != nullptr)
@@ -139,10 +288,14 @@ Cluster::attachTracers()
         milana::MilanaClient *client = clients_[i].get();
         clocksync::Clock *clock = &client->clock();
         const auto local_now = [clock] { return clock->localNow(); };
-        client->tracer().attach(log, client->nodeId(), true_now,
+        const std::uint32_t part = clientPartition(i);
+        sim::Simulator *psim = &clientSim(i);
+        const auto ptrue = [psim] { return psim->now(); };
+        client->tracer().attach(traceFor(part), client->nodeId(), ptrue,
                                 local_now);
         if (ensemble_ != nullptr)
-            ensemble_->agent(i).tracer().attach(log, client->nodeId(),
+            ensemble_->agent(i).tracer().attach(*config_.trace,
+                                                client->nodeId(),
                                                 true_now, local_now);
     }
 }
@@ -153,6 +306,7 @@ void
 Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
 {
     const common::NodeId node = shard * config_.replicasPerShard + replica;
+    sim::Simulator &sim = rootSim();
 
     // Size the device for this shard's share of the key space (with
     // margin for hash imbalance), at the configured utilization.
@@ -166,7 +320,7 @@ Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
       case BackendKind::Dram: {
         devices_.push_back(nullptr);
         sftls_.push_back(nullptr);
-        auto dram = std::make_unique<ftl::DramBackend>(sim_);
+        auto dram = std::make_unique<ftl::DramBackend>(sim);
         backend = dram.get();
         backends_.push_back(std::move(dram));
         break;
@@ -176,11 +330,11 @@ Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
                                               config_.deviceUtilization);
         geo.numChannels = config_.deviceChannels;
         devices_.push_back(
-            std::make_unique<flash::SsdDevice>(sim_, geo));
+            std::make_unique<flash::SsdDevice>(sim, geo));
         sftls_.push_back(nullptr);
         ftl::Mftl::Config cfg;
         cfg.recordSize = config_.recordSize;
-        auto mftl = std::make_unique<ftl::Mftl>(sim_, *devices_.back(),
+        auto mftl = std::make_unique<ftl::Mftl>(sim, *devices_.back(),
                                                 cfg);
         backend = mftl.get();
         backends_.push_back(std::move(mftl));
@@ -191,12 +345,12 @@ Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
                                               config_.deviceUtilization);
         geo.numChannels = config_.deviceChannels;
         devices_.push_back(
-            std::make_unique<flash::SsdDevice>(sim_, geo));
+            std::make_unique<flash::SsdDevice>(sim, geo));
         sftls_.push_back(std::make_unique<ftl::Sftl>(
-            sim_, *devices_.back(), ftl::Sftl::Config{}));
+            sim, *devices_.back(), ftl::Sftl::Config{}));
         ftl::Vftl::Config cfg;
         cfg.recordSize = config_.recordSize;
-        auto vftl = std::make_unique<ftl::Vftl>(sim_, *sftls_.back(),
+        auto vftl = std::make_unique<ftl::Vftl>(sim, *sftls_.back(),
                                                 cfg);
         backend = vftl.get();
         backends_.push_back(std::move(vftl));
@@ -208,14 +362,14 @@ Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
             config_.numKeys * config_.recordSize, 0.5);
         geo.numChannels = config_.deviceChannels;
         devices_.push_back(
-            std::make_unique<flash::SsdDevice>(sim_, geo));
+            std::make_unique<flash::SsdDevice>(sim, geo));
         sftls_.push_back(std::make_unique<ftl::Sftl>(
-            sim_, *devices_.back(), ftl::Sftl::Config{}));
+            sim, *devices_.back(), ftl::Sftl::Config{}));
         ftl::SingleVersionKv::Config cfg;
         cfg.recordSize = config_.recordSize;
         cfg.capacityKeys = config_.numKeys;
         auto kv = std::make_unique<ftl::SingleVersionKv>(
-            sim_, *sftls_.back(), cfg);
+            sim, *sftls_.back(), cfg);
         backend = kv.get();
         backends_.push_back(std::move(kv));
         break;
@@ -223,7 +377,7 @@ Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
     }
 
     serverClocks_.push_back(
-        std::make_unique<clocksync::PerfectClock>(sim_));
+        std::make_unique<clocksync::PerfectClock>(sim));
 
     semel::Server::Config server_config;
     server_config.backupAcksNeeded =
@@ -239,7 +393,7 @@ Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
     milana_config.enableLeases = config_.replicasPerShard > 1;
 
     servers_.push_back(std::make_unique<milana::MilanaServer>(
-        sim_, *net_, node, shard, *backend, *serverClocks_.back(),
+        sim, netFor(0), node, shard, *backend, *serverClocks_.back(),
         server_config, milana_config, master_, directory_));
     directory_.add(servers_.back().get());
 }
@@ -279,9 +433,15 @@ Cluster::populate()
             --*remaining;
         }(this, w, workers, remaining));
     }
-    sim_.run();
+    // Populate runs entirely on the storage partition (the servers all
+    // live there), single-threaded even in partitioned mode.
+    rootSim().run();
     if (*remaining != 0)
         PANIC("population did not finish");
+    // Partition 0 is now ahead of the (still-empty) client partitions;
+    // fast-forward them so the first real window starts aligned.
+    if (sched_ != nullptr)
+        sched_->alignNow();
 }
 
 void
@@ -346,7 +506,7 @@ Cluster::avgClientSkew() const
 void
 Cluster::crashServer(common::NodeId node)
 {
-    net_->setNodeDown(node, true);
+    network().setNodeDown(node, true);
 }
 
 sim::Task<void>

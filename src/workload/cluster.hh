@@ -33,6 +33,7 @@
 #include "milana/server.hh"
 #include "net/network.hh"
 #include "semel/shard_map.hh"
+#include "sim/partition.hh"
 #include "sim/simulator.hh"
 
 namespace workload {
@@ -89,6 +90,20 @@ struct ClusterConfig
      * beyond one branch per site).
      */
     common::TraceLog *trace = nullptr;
+    /**
+     * Worker threads for running this ONE scenario in parallel
+     * (conservative time windows, see sim/partition.hh). 0 = classic
+     * single-simulator mode, byte-for-byte the historical behavior.
+     * Any value >= 1 partitions the nodes (storage stack on partition
+     * 0, clients round-robin over up to 7 client partitions — a fixed,
+     * topology-derived layout) and produces output byte-identical for
+     * EVERY thread count; it differs from simThreads=0 only because
+     * message delays come from per-partition RNG streams. Requires
+     * Perfect clocks and no Centiman (those couple nodes through
+     * shared state). Drive the run via Cluster::now()/runUntil()/
+     * runFor(), not sim().
+     */
+    std::uint32_t simThreads = 0;
 };
 
 class Cluster
@@ -97,8 +112,35 @@ class Cluster
     explicit Cluster(const ClusterConfig &config);
     ~Cluster();
 
-    sim::Simulator &sim() { return sim_; }
+    /** The scenario's single simulator. Classic mode only — in
+     *  partitioned mode (simThreads > 0) there is no such thing; use
+     *  the now()/runUntil()/runFor() façade below. */
+    sim::Simulator &sim();
     const ClusterConfig &config() const { return config_; }
+
+    bool partitioned() const { return sched_ != nullptr; }
+
+    // Mode-independent run façade (dispatches to the single simulator
+    // or the partitioned scheduler).
+    common::Time now() const;
+    std::uint64_t runUntil(common::Time t);
+    std::uint64_t runFor(common::Duration d,
+                         common::Duration grace = common::kSecond);
+    void requestStop();
+
+    /** The simulator that drives client @p i (its partition's, or the
+     *  single simulator in classic mode). */
+    sim::Simulator &clientSim(std::uint32_t i);
+
+    /**
+     * Partitioned mode with tracing: merge the per-partition trace
+     * logs into config().trace in the deterministic
+     * (trueTime, partition, seq) order. Call after the run, before
+     * exporting the log; classic mode is a no-op (components write to
+     * config().trace directly). An attached InvariantMonitor observes
+     * the merged stream here.
+     */
+    void finishTrace();
 
     /** Bulk-load the key space into every replica. Run to completion
      *  before starting the workload. */
@@ -116,7 +158,10 @@ class Cluster
 
     semel::Master &master() { return master_; }
     semel::Directory &directory() { return directory_; }
-    net::Network &network() { return *net_; }
+    /** The network (classic), or partition 0's slice of it
+     *  (partitioned — fault injection delegates to the shared
+     *  Fabric either way). */
+    net::Network &network();
 
     /** Aggregate of all client stat sets. */
     common::StatSet clientStats() const;
@@ -143,12 +188,29 @@ class Cluster
 
   private:
     void buildStorageNode(common::ShardId shard, std::uint32_t replica);
-    /** Arm every component's Tracer on config_.trace. */
+    /** Arm every component's Tracer on config_.trace (classic) or on
+     *  the per-partition logs (partitioned). */
     void attachTracers();
+
+    /** Partition that runs the storage stack (and populate). */
+    sim::Simulator &rootSim();
+    /** Client @p i's partition index (0 in classic mode). */
+    std::uint32_t clientPartition(std::uint32_t i) const;
+    /** The Network instance of partition @p p (the single network in
+     *  classic mode). */
+    net::Network &netFor(std::uint32_t p);
+    /** Trace log partition @p p's components append to. */
+    common::TraceLog &traceFor(std::uint32_t p);
 
     ClusterConfig config_;
     sim::Simulator sim_;
     common::Rng rng_;
+    /** Partitioned-mode machinery (null in classic mode). */
+    std::unique_ptr<sim::PartitionedScheduler> sched_;
+    std::unique_ptr<net::Fabric> fabric_;
+    std::vector<std::unique_ptr<net::Network>> partNets_;
+    std::vector<std::unique_ptr<common::TraceLog>> partLogs_;
+    std::uint32_t clientPartitions_ = 0;
     std::unique_ptr<net::Network> net_;
     semel::ShardMap shardMap_;
     semel::Master master_;

@@ -132,6 +132,7 @@ RetwisWorkload::RetwisWorkload(Cluster &cluster,
         for (std::uint32_t i = 0; i < instances_per_client; ++i) {
             instances_.push_back(std::make_unique<RetwisInstance>(
                 cluster.client(c), config, rng.fork()));
+            instanceClient_.push_back(c);
         }
     }
 }
@@ -139,8 +140,9 @@ RetwisWorkload::RetwisWorkload(Cluster &cluster,
 void
 RetwisWorkload::start()
 {
-    for (auto &instance : instances_)
-        sim::spawn(instance->run(cluster_.sim()));
+    for (std::size_t k = 0; k < instances_.size(); ++k)
+        sim::spawn(
+            instances_[k]->run(cluster_.clientSim(instanceClient_[k])));
 }
 
 void
