@@ -32,7 +32,9 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
+#include "common/types.hh"
 
 namespace bench {
 
@@ -93,9 +95,71 @@ class Args
         return false;
     }
 
+    /**
+     * A duration flag with unit suffix: "100ms", "250us", "2s",
+     * "500ns". A bare number means milliseconds (the natural unit for
+     * sampling intervals). Returns @p def when absent or malformed.
+     */
+    common::Duration
+    getDuration(const std::string &name, common::Duration def) const
+    {
+        const std::string text = getString(name, "");
+        if (text.empty())
+            return def;
+        char *end = nullptr;
+        const double n = std::strtod(text.c_str(), &end);
+        if (end == text.c_str())
+            return def;
+        const std::string unit(end);
+        double scale = static_cast<double>(common::kMillisecond);
+        if (unit == "ns")
+            scale = static_cast<double>(common::kNanosecond);
+        else if (unit == "us")
+            scale = static_cast<double>(common::kMicrosecond);
+        else if (unit == "ms" || unit.empty())
+            scale = static_cast<double>(common::kMillisecond);
+        else if (unit == "s")
+            scale = static_cast<double>(common::kSecond);
+        else
+            return def;
+        return static_cast<common::Duration>(n * scale);
+    }
+
   private:
     std::vector<std::string> args_;
 };
+
+/**
+ * Write a TimeSeriesLog as the `milana-metrics-v1` JSON document at
+ * @p path plus a sibling CSV of its deterministic series (PATH with
+ * a .json suffix swapped for .csv, else PATH + ".csv"). Exits on I/O
+ * error, like Report::write.
+ */
+inline void
+writeMetricsOutputs(const common::TimeSeriesLog &log,
+                    const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    log.writeJson(os);
+    std::string csv_path = path;
+    if (csv_path.size() >= 5 &&
+        csv_path.compare(csv_path.size() - 5, 5, ".json") == 0)
+        csv_path.resize(csv_path.size() - 5);
+    csv_path += ".csv";
+    std::ofstream cs(csv_path);
+    if (!cs) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     csv_path.c_str());
+        std::exit(1);
+    }
+    log.writeCsv(cs);
+    std::printf("wrote %s and %s (%zu series)\n", path.c_str(),
+                csv_path.c_str(), log.seriesCount());
+}
 
 inline void
 printHeader(const char *title)

@@ -28,6 +28,13 @@
  *   --trace-alpha=F       traced cell contention (default 0.8)
  *   --trace-clients=N     traced cell client count (default 16)
  *   --trace-capacity=N    trace ring size in events (default 262144)
+ *   --metrics=PATH        rerun the same cell with the time-series
+ *                         metrics plane on and write milana-metrics-v1
+ *                         JSON to PATH plus a sibling CSV; the
+ *                         deterministic sections are byte-identical
+ *                         for every --sim-threads value
+ *   --metrics-interval=D  sampling window (default 100ms; accepts
+ *                         ns/us/ms/s suffixes)
  * The traced cell's full client/server StatSets are embedded in the
  * --json report so tools/trace_report output can be cross-checked
  * against the txn.abort.<reason> counters.
@@ -36,6 +43,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -67,7 +75,8 @@ CellResult
 runCell(BackendKind backend, std::uint32_t clients, double alpha,
         std::uint64_t keys, common::Duration warmup,
         common::Duration measure, std::uint64_t seed,
-        std::uint32_t sim_threads, common::TraceLog *trace = nullptr)
+        std::uint32_t sim_threads, common::TraceLog *trace = nullptr,
+        common::MetricsRegistry *metrics = nullptr)
 {
     ClusterConfig cfg;
     cfg.numShards = 1;
@@ -78,6 +87,7 @@ runCell(BackendKind backend, std::uint32_t clients, double alpha,
     cfg.numKeys = keys;
     cfg.seed = seed;
     cfg.trace = trace;
+    cfg.metrics = metrics;
     cfg.simThreads = sim_threads;
     // Same-machine "network": IPC-scale latency.
     cfg.net.oneWayMean = 5 * common::kMicrosecond;
@@ -100,6 +110,7 @@ runCell(BackendKind backend, std::uint32_t clients, double alpha,
     cluster.resetStats(); // align counters with the measured window
     cluster.runFor(measure);
     cluster.finishTrace();
+    cluster.finishMetrics();
 
     CellResult result;
     result.abortPct = fleet.abortRate() * 100.0;
@@ -186,9 +197,11 @@ main(int argc, char **argv)
 
     const std::string trace_path = args.getString("trace", "");
     const std::string perfetto_path = args.getString("perfetto", "");
+    const std::string metrics_path = args.getString("metrics", "");
     const bool monitor_on = args.has("monitor");
     bool monitor_failed = false;
-    if (!trace_path.empty() || !perfetto_path.empty() || monitor_on) {
+    if (!trace_path.empty() || !perfetto_path.empty() ||
+        !metrics_path.empty() || monitor_on) {
         const double trace_alpha = args.getDouble("trace-alpha", 0.8);
         const auto trace_clients = static_cast<std::uint32_t>(
             args.getInt("trace-clients", 16));
@@ -207,12 +220,22 @@ main(int argc, char **argv)
             &std::cerr);
         if (monitor_on)
             monitor.attach(log);
+        std::unique_ptr<common::MetricsRegistry> metrics;
+        if (!metrics_path.empty())
+            metrics = std::make_unique<common::MetricsRegistry>(
+                args.getDuration("metrics-interval",
+                                 100 * common::kMillisecond));
         std::printf("\ntracing one MFTL cell (alpha=%.2f, %u clients)"
                     "...\n",
                     trace_alpha, trace_clients);
         const CellResult cell =
             runCell(BackendKind::Mftl, trace_clients, trace_alpha, keys,
-                    warmup, measure, seed, sim_threads, &log);
+                    warmup, measure, seed, sim_threads,
+                    (trace_path.empty() && perfetto_path.empty() &&
+                     !monitor_on)
+                        ? nullptr
+                        : &log,
+                    metrics.get());
         if (!trace_path.empty()) {
             std::ofstream os(trace_path);
             if (!os) {
@@ -237,11 +260,14 @@ main(int argc, char **argv)
                              perfetto_path.c_str());
                 return 1;
             }
-            log.writePerfetto(os);
+            log.writePerfetto(os, metrics != nullptr ? &metrics->log()
+                                                     : nullptr);
             std::printf("wrote %s (Perfetto trace-event JSON; open at "
                         "ui.perfetto.dev)\n",
                         perfetto_path.c_str());
         }
+        if (metrics != nullptr)
+            bench::writeMetricsOutputs(metrics->log(), metrics_path);
         if (monitor_on) {
             monitor.report(std::cout);
             monitor_failed = !monitor.ok();

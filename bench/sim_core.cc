@@ -22,6 +22,13 @@
  *                         cross-partition post per tick around the
  *                         ring. Tracks the mailbox + window-barrier
  *                         overhead per event.
+ *  - metrics_ring:        timer_ring with the metrics plane on: every
+ *                         tick bumps counters and a histogram in a
+ *                         StatSet a MetricsRegistry samples on a fixed
+ *                         interval. The pass/fail bar for "zero heap
+ *                         allocations per event with sampling enabled"
+ *                         (pre-sized rings, pointer-keyed snapshot
+ *                         maps).
  *
  * Heap traffic is measured by interposing global operator new/delete in
  * this binary (counts + bytes), so "allocs/event" is exact, not
@@ -41,6 +48,8 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/metrics.hh"
+#include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "sim/future.hh"
@@ -426,6 +435,96 @@ partitionedRing(std::uint64_t target_events)
     return r;
 }
 
+/**
+ * timer_ring with the metrics plane sampling on top: ticks bump two
+ * counters and record one histogram sample; a self-rescheduling
+ * sampler snapshots the StatSet every simulated 100us. Steady state
+ * must stay at zero allocations per event — the sampler reuses
+ * pre-sized rings, pointer-keyed snapshot maps, and a scratch
+ * histogram for the window delta.
+ */
+struct StatTick
+{
+    sim::Simulator *sim;
+    common::StatSet *stats;
+    std::uint64_t *fired;
+    Duration period;
+
+    void
+    operator()() const
+    {
+        ++*fired;
+        stats->counter("ops").inc();
+        if (*fired % 16 == 0)
+            stats->counter("slow").inc();
+        stats->histogram("lat").record(
+            static_cast<std::int64_t>(*fired % 4096));
+        sim->schedule(period, StatTick{*this});
+    }
+};
+
+struct SampleTick
+{
+    sim::Simulator *sim;
+    common::MetricsRegistry *reg;
+
+    void
+    operator()() const
+    {
+        const Duration interval = reg->interval();
+        const common::Time t = sim->now();
+        reg->sample(t - interval, t);
+        sim->schedule(interval, SampleTick{*this});
+    }
+};
+
+ScenarioResult
+metricsRing(std::uint64_t target_events)
+{
+    constexpr Duration kInterval = 100 * kMicrosecond;
+    sim::Simulator sim;
+    common::StatSet stats;
+    common::MetricsRegistry reg(kInterval);
+    reg.addStatSet("ring.", 0, stats);
+    std::uint64_t fired = 0;
+    reg.addGauge("ring.fired", 0, [&fired] {
+        return static_cast<double>(fired);
+    });
+
+    constexpr std::uint32_t kTimers = 64;
+    for (std::uint32_t i = 0; i < kTimers; ++i) {
+        const Duration period = (1 + i % 7) * kMicrosecond;
+        sim.schedule(period, StatTick{&sim, &stats, &fired, period});
+    }
+    sim.schedule(kInterval, SampleTick{&sim, &reg});
+    // Warm up past several sampling windows so every series exists and
+    // its ring storage is reserved before the measured window.
+    sim.runUntil(5 * kInterval);
+
+    const Duration horizon =
+        static_cast<Duration>(target_events / 24 + 1) * kMicrosecond;
+
+    const AllocSnapshot before = AllocSnapshot::take();
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t processed = sim.runUntil(sim.now() + horizon);
+    const double secs = wallSeconds(start);
+    const AllocSnapshot after = AllocSnapshot::take();
+
+    if (reg.samples() < 5)
+        PANIC("metrics_ring sampler never ran");
+
+    ScenarioResult r;
+    r.name = "metrics_ring";
+    r.events = processed;
+    r.seconds = secs;
+    r.allocsPerEvent =
+        static_cast<double>(after.calls - before.calls) /
+        static_cast<double>(processed ? processed : 1);
+    r.bytesPerEvent = static_cast<double>(after.bytes - before.bytes) /
+                      static_cast<double>(processed ? processed : 1);
+    return r;
+}
+
 } // namespace
 
 int
@@ -452,6 +551,7 @@ main(int argc, char **argv)
     results.push_back(futurePingpong(target));
     results.push_back(timeoutRace(target));
     results.push_back(partitionedRing(target));
+    results.push_back(metricsRing(target));
 
     for (const ScenarioResult &r : results) {
         const double eps =

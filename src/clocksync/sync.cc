@@ -207,4 +207,19 @@ ClockEnsemble::avgPairwiseSkew() const
     return skewHist_.mean();
 }
 
+Duration
+ClockEnsemble::instantaneousMaxPairwiseSkew() const
+{
+    if (clocks_.empty())
+        return 0;
+    Duration lo = clocks_[0]->currentOffset();
+    Duration hi = lo;
+    for (const auto &clock : clocks_) {
+        const Duration off = clock->currentOffset();
+        lo = std::min(lo, off);
+        hi = std::max(hi, off);
+    }
+    return hi - lo;
+}
+
 } // namespace clocksync

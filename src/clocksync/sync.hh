@@ -138,6 +138,14 @@ class ClockEnsemble
     /** Max absolute pairwise skew observed so far. */
     Duration maxPairwiseSkew() const { return maxSkew_; }
 
+    /**
+     * Max absolute pairwise skew right now (spread between the
+     * fastest and slowest clock's current offset). Unlike the sampled
+     * aggregates above this is an instantaneous gauge, suitable for
+     * time-series sampling.
+     */
+    Duration instantaneousMaxPairwiseSkew() const;
+
     const common::Histogram &skewHistogram() const { return skewHist_; }
 
   private:

@@ -33,15 +33,28 @@ Histogram::bucketIndex(std::int64_t value)
 std::int64_t
 Histogram::bucketMidpoint(int index)
 {
+    return bucketLower(index) + bucketWidth(index) / 2;
+}
+
+std::int64_t
+Histogram::bucketLower(int index)
+{
     if (index < kSubBuckets)
         return index;
     const int adjusted = index - kSubBuckets;
     const int shift = adjusted / kSubBuckets;
     const int sub = adjusted % kSubBuckets;
-    const std::uint64_t base =
-        (static_cast<std::uint64_t>(kSubBuckets + sub)) << shift;
-    const std::uint64_t width = 1ULL << shift;
-    return static_cast<std::int64_t>(base + width / 2);
+    return static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(kSubBuckets + sub)) << shift);
+}
+
+std::int64_t
+Histogram::bucketWidth(int index)
+{
+    if (index < kSubBuckets)
+        return 1;
+    const int shift = (index - kSubBuckets) / kSubBuckets;
+    return static_cast<std::int64_t>(1ULL << shift);
 }
 
 void
@@ -96,16 +109,59 @@ Histogram::quantile(double q) const
     if (count_ == 0)
         return 0;
     q = std::clamp(q, 0.0, 1.0);
-    const std::uint64_t target = static_cast<std::uint64_t>(
-        q * static_cast<double>(count_ - 1));
+    const double target = q * static_cast<double>(count_ - 1);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
-        seen += buckets_[i];
-        if (seen > target)
-            return std::clamp(bucketMidpoint(static_cast<int>(i)),
-                              min(), max_);
+        const std::uint64_t c = buckets_[i];
+        if (c == 0)
+            continue;
+        if (static_cast<double>(seen + c) > target) {
+            // Interpolate linearly within the bucket: rank `target`
+            // falls among this bucket's `c` samples, assumed evenly
+            // spread across the bucket's value range.
+            const double within = target - static_cast<double>(seen);
+            const double frac = (within + 0.5) / static_cast<double>(c);
+            const int idx = static_cast<int>(i);
+            const double value =
+                static_cast<double>(bucketLower(idx)) +
+                frac * static_cast<double>(bucketWidth(idx));
+            return std::clamp(static_cast<std::int64_t>(value), min(),
+                              max_);
+        }
+        seen += c;
     }
     return max_;
+}
+
+void
+Histogram::assignDelta(const Histogram &cur, const Histogram &prev)
+{
+    assert(buckets_.size() == cur.buckets_.size());
+    if (cur.count_ < prev.count_) {
+        // cur was reset since the prev snapshot: delta is cur itself.
+        *this = cur;
+        return;
+    }
+    count_ = cur.count_ - prev.count_;
+    sum_ = cur.sum_ - prev.sum_;
+    min_ = std::numeric_limits<std::int64_t>::max();
+    max_ = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const std::uint64_t c = cur.buckets_[i];
+        const std::uint64_t p = prev.buckets_[i];
+        const std::uint64_t d = c >= p ? c - p : 0;
+        buckets_[i] = d;
+        if (d != 0) {
+            const int idx = static_cast<int>(i);
+            min_ = std::min(min_, bucketLower(idx));
+            max_ = std::max(max_,
+                            bucketLower(idx) + bucketWidth(idx) - 1);
+        }
+    }
+    if (count_ == 0) {
+        max_ = 0;
+        sum_ = 0.0;
+    }
 }
 
 std::string

@@ -29,17 +29,33 @@ class Histogram
 
     void reset();
 
+    /**
+     * Replace this histogram's contents with the difference
+     * `cur - prev`, where @p prev is an earlier snapshot of @p cur
+     * (bucket counts monotonically non-decreasing between the two).
+     * If @p cur has fewer samples than @p prev (it was reset in
+     * between), the delta is @p cur itself. Reuses this histogram's
+     * pre-allocated bucket storage: no allocation. min/max of the
+     * delta are approximated from the populated bucket bounds.
+     */
+    void assignDelta(const Histogram &cur, const Histogram &prev);
+
     std::uint64_t count() const { return count_; }
     std::int64_t min() const;
     std::int64_t max() const { return max_; }
     double mean() const;
 
-    /** Approximate quantile, q in [0, 1]. Returns 0 when empty. */
+    /**
+     * Approximate quantile, q in [0, 1]. Returns 0 when empty.
+     * Linearly interpolates within the containing bucket, clamped to
+     * the observed [min, max] range.
+     */
     std::int64_t quantile(double q) const;
 
     std::int64_t p50() const { return quantile(0.50); }
     std::int64_t p95() const { return quantile(0.95); }
     std::int64_t p99() const { return quantile(0.99); }
+    std::int64_t p999() const { return quantile(0.999); }
 
     /** One-line summary (interpreting samples as nanoseconds). */
     std::string summary() const;
@@ -51,6 +67,8 @@ class Histogram
 
     static int bucketIndex(std::int64_t value);
     static std::int64_t bucketMidpoint(int index);
+    static std::int64_t bucketLower(int index);
+    static std::int64_t bucketWidth(int index);
 
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;

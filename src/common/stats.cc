@@ -71,7 +71,7 @@ histogramToJson(JsonWriter &w, const Histogram &hist)
     w.key("p90").value(hist.quantile(0.90));
     w.key("p95").value(hist.p95());
     w.key("p99").value(hist.p99());
-    w.key("p999").value(hist.quantile(0.999));
+    w.key("p999").value(hist.p999());
     w.endObject();
 }
 
@@ -118,7 +118,7 @@ StatSet::writeCsv(std::ostream &os, const std::string &prefix) const
         os << base << ".p90," << hist.quantile(0.90) << "\n";
         os << base << ".p95," << hist.p95() << "\n";
         os << base << ".p99," << hist.p99() << "\n";
-        os << base << ".p999," << hist.quantile(0.999) << "\n";
+        os << base << ".p999," << hist.p999() << "\n";
     }
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/json.hh"
+#include "common/metrics.hh"
 
 namespace common {
 
@@ -177,7 +178,8 @@ perfettoTs(Time ns)
 } // namespace
 
 void
-TraceLog::writePerfetto(std::ostream &os) const
+TraceLog::writePerfetto(std::ostream &os,
+                        const TimeSeriesLog *metrics) const
 {
     // Chrome trace-event "JSON object format". Spans are emitted as
     // *async* events ("b"/"e" keyed by pid+cat+id) rather than
@@ -194,6 +196,10 @@ TraceLog::writePerfetto(std::ostream &os) const
     std::map<NodeId, bool> seenNode;
     for (const TraceEvent &e : events)
         seenNode.emplace(e.node, true);
+    if (metrics != nullptr)
+        for (const TimeSeriesLog::Series *s : metrics->sorted())
+            if (s->deterministic)
+                seenNode.emplace(s->node, true);
     for (const auto &[node, unused] : seenNode) {
         os << "\n";
         char label[64];
@@ -247,6 +253,47 @@ TraceLog::writePerfetto(std::ostream &os) const
         w.key("lt").value(e.localTime);
         w.endObject();
         w.endObject();
+    }
+
+    // Metric series as counter tracks, one per (node, series name):
+    // counters as per-second rates, gauges raw, histograms as the
+    // window's p99 — timelines render alongside the span tracks.
+    if (metrics != nullptr) {
+        for (const TimeSeriesLog::Series *s : metrics->sorted()) {
+            if (!s->deterministic)
+                continue;
+            for (const MetricPoint &p : s->points()) {
+                double value = 0.0;
+                std::string name = s->name;
+                switch (s->kind) {
+                case SeriesKind::Counter: {
+                    const double secs =
+                        toSeconds(p.windowEnd - p.windowStart);
+                    value = secs > 0 ? p.value / secs : 0.0;
+                    break;
+                }
+                case SeriesKind::Gauge:
+                    value = p.value;
+                    break;
+                case SeriesKind::Hist:
+                    name += ".p99";
+                    value = static_cast<double>(p.p99);
+                    break;
+                }
+                os << "\n";
+                w.beginObject();
+                w.key("ph").value("C");
+                w.key("ts").value(perfettoTs(p.windowStart));
+                w.key("pid").value(s->node);
+                w.key("tid").value(std::uint64_t{1});
+                w.key("cat").value(perfettoCategory(name));
+                w.key("name").value(name);
+                w.key("args").beginObject();
+                w.key("value").value(value);
+                w.endObject();
+                w.endObject();
+            }
+        }
     }
     w.endArray();
     w.endObject();

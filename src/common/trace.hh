@@ -47,6 +47,8 @@
 
 namespace common {
 
+class TimeSeriesLog;
+
 enum class TraceKind : std::uint8_t
 {
     Instant,
@@ -214,8 +216,13 @@ class TraceLog
     void writeCsv(std::ostream &os) const;
     /** Chrome/Perfetto trace-event JSON (load at ui.perfetto.dev).
      *  One process ("track group") per node; spans are async events
-     *  keyed by span id, so interleaved coroutines render correctly. */
-    void writePerfetto(std::ostream &os) const;
+     *  keyed by span id, so interleaved coroutines render correctly.
+     *  When @p metrics is non-null, its deterministic series are
+     *  emitted as counter ("C") tracks alongside the spans — counter
+     *  series as per-second rates, gauges raw, histogram series as
+     *  their per-window p99. */
+    void writePerfetto(std::ostream &os,
+                       const TimeSeriesLog *metrics = nullptr) const;
 
   private:
     std::vector<TraceEvent> ring_;

@@ -156,4 +156,21 @@ SsdDevice::unpinBlock(std::uint32_t block)
     --pins_[block];
 }
 
+std::uint32_t
+SsdDevice::inflightOps() const
+{
+    return geometry_.queueDepth -
+           static_cast<std::uint32_t>(queue_.available());
+}
+
+std::uint32_t
+SsdDevice::busyChannels() const
+{
+    std::uint32_t n = 0;
+    for (const auto &ch : channels_)
+        if (ch->locked())
+            ++n;
+    return n;
+}
+
 } // namespace flash

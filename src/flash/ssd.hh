@@ -124,6 +124,13 @@ class SsdDevice
     common::StatSet &stats() { return stats_; }
     const common::StatSet &stats() const { return stats_; }
 
+    /** Operations admitted past the hardware queue right now. */
+    std::uint32_t inflightOps() const;
+    /** Operations waiting for a hardware queue slot right now. */
+    std::size_t queuedOps() const { return queue_.waiting(); }
+    /** Channels currently servicing an operation. */
+    std::uint32_t busyChannels() const;
+
     /** Trace emission handle; disabled until the cluster attaches it. */
     common::Tracer &tracer() { return trace_; }
 

@@ -1,6 +1,7 @@
 #include "sim/partition.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 
@@ -21,6 +22,10 @@ PartitionedScheduler::PartitionedScheduler(std::uint32_t partitions,
     sims_.reserve(partitions);
     mail_.reserve(partitions);
     postSeq_.assign(partitions, 0);
+    eventsRun_.assign(partitions, 0);
+    mailMerged_.assign(partitions, 0);
+    prevEvents_.assign(partitions, 0);
+    prevMail_.assign(partitions, 0);
     for (std::uint32_t p = 0; p < partitions; ++p) {
         sims_.push_back(std::make_unique<Simulator>());
         mail_.push_back(std::make_unique<Mailbox>());
@@ -71,6 +76,7 @@ PartitionedScheduler::mergeMailboxes()
                 continue;
             mb.incoming.swap(mb.draining);
         }
+        mailMerged_[dst] += mb.draining.size();
         // Canonical order: the interleaving concurrent posters produced
         // under the mutex is thread-timing dependent; this key is not.
         std::sort(mb.draining.begin(), mb.draining.end(),
@@ -93,8 +99,11 @@ PartitionedScheduler::runWindow(Time bound)
 {
     if (workers_.empty()) {
         std::uint64_t n = 0;
-        for (auto &sim : sims_)
-            n += sim->runUntil(bound);
+        for (std::size_t p = 0; p < sims_.size(); ++p) {
+            const std::uint64_t e = sims_[p]->runUntil(bound);
+            eventsRun_[p] += e;
+            n += e;
+        }
         return n;
     }
     std::unique_lock<std::mutex> lk(mu_);
@@ -130,7 +139,12 @@ PartitionedScheduler::workerLoop()
                 cursor_.fetch_add(1, std::memory_order_relaxed);
             if (p >= sims_.size())
                 break;
-            n += sims_[p]->runUntil(bound);
+            const std::uint64_t e = sims_[p]->runUntil(bound);
+            // Safe: exactly one worker holds p this window, and the
+            // barrier's mutex hand-off orders windows and the
+            // driver's profile reads.
+            eventsRun_[p] += e;
+            n += e;
         }
         windowProcessed_.fetch_add(n, std::memory_order_relaxed);
         {
@@ -167,14 +181,29 @@ PartitionedScheduler::runUntil(Time t)
         // Window [lb, lb + lookahead), capped at t (inclusive bound
         // for Simulator::runUntil, hence the -1).
         const Time bound = std::min(t, lb + lookahead_ - 1);
-        processed += runWindow(bound);
+        if (profileInterval_ > 0) {
+            const auto wall0 = std::chrono::steady_clock::now();
+            processed += runWindow(bound);
+            windowWallNs_ += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - wall0)
+                    .count());
+        } else {
+            processed += runWindow(bound);
+        }
+        ++windowsRun_;
         now_ = bound;
+        profileTick();
     }
     // Align every partition's clock with the requested horizon (no
     // events remain at or before t).
-    for (auto &sim : sims_)
-        processed += sim->runUntil(t);
+    for (std::size_t p = 0; p < sims_.size(); ++p) {
+        const std::uint64_t e = sims_[p]->runUntil(t);
+        eventsRun_[p] += e;
+        processed += e;
+    }
     now_ = t;
+    profileTick();
     return processed;
 }
 
@@ -211,9 +240,78 @@ PartitionedScheduler::alignNow()
     Time t = now_;
     for (const auto &sim : sims_)
         t = std::max(t, sim->now());
-    for (auto &sim : sims_)
-        sim->runUntil(t);
+    for (std::size_t p = 0; p < sims_.size(); ++p)
+        eventsRun_[p] += sims_[p]->runUntil(t);
     now_ = t;
+    profileTick();
+}
+
+void
+PartitionedScheduler::enableProfile(Duration interval,
+                                    std::size_t maxRows)
+{
+    if (interval <= 0)
+        PANIC("profile interval must be positive, got " << interval);
+    profileInterval_ = interval;
+    profileMaxRows_ = maxRows;
+    profileRows_.clear();
+    profileRows_.reserve(maxRows);
+    profileDropped_ = 0;
+    // Rows start at the interval boundary at or before now(); the
+    // cumulative counters are snapshotted so pre-enable work (e.g.
+    // store population) is excluded from the first row.
+    profileRowEnd_ = now_ / interval * interval;
+    nextProfileTick_ = profileRowEnd_ + interval;
+    prevEvents_ = eventsRun_;
+    prevMail_ = mailMerged_;
+    prevWindows_ = windowsRun_;
+    prevWallNs_ = windowWallNs_;
+}
+
+void
+PartitionedScheduler::profileTick()
+{
+    if (profileInterval_ <= 0)
+        return;
+    while (now_ >= nextProfileTick_) {
+        emitProfileRow(nextProfileTick_);
+        nextProfileTick_ += profileInterval_;
+    }
+}
+
+void
+PartitionedScheduler::emitProfileRow(Time end)
+{
+    if (profileRows_.size() >= profileMaxRows_) {
+        ++profileDropped_;
+    } else {
+        ProfileRow row;
+        row.windowStart = profileRowEnd_;
+        row.windowEnd = end;
+        row.windows = windowsRun_ - prevWindows_;
+        row.wallNs = windowWallNs_ - prevWallNs_;
+        row.events.resize(sims_.size());
+        row.mailbox.resize(sims_.size());
+        for (std::size_t p = 0; p < sims_.size(); ++p) {
+            row.events[p] = eventsRun_[p] - prevEvents_[p];
+            row.mailbox[p] = mailMerged_[p] - prevMail_[p];
+        }
+        profileRows_.push_back(std::move(row));
+    }
+    prevEvents_ = eventsRun_;
+    prevMail_ = mailMerged_;
+    prevWindows_ = windowsRun_;
+    prevWallNs_ = windowWallNs_;
+    profileRowEnd_ = end;
+}
+
+void
+PartitionedScheduler::flushProfile()
+{
+    if (profileInterval_ <= 0)
+        return;
+    if (now_ > profileRowEnd_)
+        emitProfileRow(now_);
 }
 
 } // namespace sim

@@ -122,6 +122,37 @@ class PartitionedScheduler
      */
     void alignNow();
 
+    /**
+     * Self-profiler: one row per @p interval of simulated time, with
+     * per-partition events executed and mailbox cross-traffic, the
+     * number of barrier windows run, and the wall-clock time spent
+     * inside them. Everything except wallNs is deterministic (a pure
+     * function of the event schedule); wallNs measures real barrier
+     * cost and MUST be kept out of deterministic compares. Rows are
+     * contiguous: each covers [windowStart, windowEnd) exactly, so
+     * deltas sum to the run totals. Driver thread only.
+     */
+    struct ProfileRow
+    {
+        Time windowStart = 0;
+        Time windowEnd = 0;
+        std::uint64_t windows = 0; ///< barrier windows completed
+        std::uint64_t wallNs = 0;  ///< wall clock in them (NON-DET)
+        std::vector<std::uint64_t> events;  ///< per partition
+        std::vector<std::uint64_t> mailbox; ///< merged-in, per dst
+    };
+
+    /** Enable profiling (interval > 0); at most @p maxRows rows are
+     *  kept, later ones are counted in profileDropped(). */
+    void enableProfile(Duration interval, std::size_t maxRows = 4096);
+    const std::vector<ProfileRow> &profile() const
+    {
+        return profileRows_;
+    }
+    std::uint64_t profileDropped() const { return profileDropped_; }
+    /** Emit the final partial row up to now(). Driver thread only. */
+    void flushProfile();
+
   private:
     struct RemoteEvent
     {
@@ -150,6 +181,10 @@ class PartitionedScheduler
 
     void workerLoop();
 
+    /** Emit profile rows for every interval boundary now() crossed. */
+    void profileTick();
+    void emitProfileRow(Time end);
+
     std::vector<std::unique_ptr<Simulator>> sims_;
     std::vector<std::unique_ptr<Mailbox>> mail_;
     /** Per-source post counter; only the thread running that source
@@ -172,6 +207,25 @@ class PartitionedScheduler
     /** Work-stealing cursor: workers claim partition indices. */
     std::atomic<std::uint32_t> cursor_{0};
     std::atomic<std::uint64_t> windowProcessed_{0};
+
+    // Self-profiler state. Cumulative counters: eventsRun_[p] is
+    // written only by the thread running partition p inside a window
+    // (the barrier's mutex hand-off orders it with the driver's
+    // reads); everything else is driver-thread-only.
+    Duration profileInterval_ = 0; ///< 0 = profiling off
+    std::size_t profileMaxRows_ = 0;
+    Time nextProfileTick_ = 0;
+    Time profileRowEnd_ = 0;
+    std::uint64_t profileDropped_ = 0;
+    std::vector<std::uint64_t> eventsRun_;
+    std::vector<std::uint64_t> mailMerged_;
+    std::uint64_t windowsRun_ = 0;
+    std::uint64_t windowWallNs_ = 0;
+    std::vector<std::uint64_t> prevEvents_;
+    std::vector<std::uint64_t> prevMail_;
+    std::uint64_t prevWindows_ = 0;
+    std::uint64_t prevWallNs_ = 0;
+    std::vector<ProfileRow> profileRows_;
 };
 
 } // namespace sim

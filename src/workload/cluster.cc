@@ -49,6 +49,53 @@ syncConfigFor(ClockKind kind)
     return clocksync::SyncConfig::perfect();
 }
 
+/**
+ * Self-rescheduling sampler event: fires at every interval boundary
+ * of its partition's simulated time and samples the window that just
+ * ended. 16 bytes — lives in the Callback's inline storage, so the
+ * steady-state sampling path allocates nothing.
+ */
+struct MetricsTick
+{
+    sim::Simulator *sim;
+    common::MetricsRegistry *reg;
+
+    void
+    operator()() const
+    {
+        const common::Duration interval = reg->interval();
+        const common::Time t = sim->now();
+        reg->sample(std::max<common::Time>(t - interval, 0), t);
+        // Keep sampling through the run; wind down once stop is
+        // requested (the end-of-run flush covers the tail).
+        if (!sim->stopRequested())
+            sim->schedule(interval, MetricsTick{*this});
+    }
+};
+
+void
+scheduleFirstMetricsTick(sim::Simulator &sim,
+                         common::MetricsRegistry *reg)
+{
+    const common::Duration interval = reg->interval();
+    // First fire at the next interval boundary (a full interval away
+    // when already aligned), so every window start is a multiple of
+    // the interval.
+    const common::Duration delay = interval - sim.now() % interval;
+    sim.schedule(delay, MetricsTick{&sim, reg});
+}
+
+/** Flush the final (possibly partial) window [last boundary, end). */
+void
+flushRegistry(common::MetricsRegistry &reg, common::Time end)
+{
+    const common::Duration interval = reg.interval();
+    common::Time ws = end / interval * interval;
+    if (ws == end)
+        ws = end - interval; // exactly on a boundary: one full window
+    reg.sample(std::max<common::Time>(ws, 0), end);
+}
+
 } // namespace
 
 Cluster::Cluster(const ClusterConfig &config)
@@ -152,6 +199,8 @@ Cluster::Cluster(const ClusterConfig &config)
 
     if (config_.trace != nullptr)
         attachTracers();
+    if (config_.metrics != nullptr)
+        attachMetrics();
 }
 
 sim::Simulator &
@@ -297,6 +346,135 @@ Cluster::attachTracers()
             ensemble_->agent(i).tracer().attach(*config_.trace,
                                                 client->nodeId(),
                                                 true_now, local_now);
+    }
+}
+
+common::MetricsRegistry &
+Cluster::metricsFor(std::uint32_t p)
+{
+    return sched_ != nullptr ? *partMetrics_[p] : *config_.metrics;
+}
+
+void
+Cluster::attachMetrics()
+{
+    if (sched_ != nullptr) {
+        // Mirror the per-partition trace logs: each partition samples
+        // only its own components, from its own simulator thread, into
+        // a private registry; finishMetrics() merges deterministically.
+        const common::MetricsRegistry &root = *config_.metrics;
+        const std::uint32_t parts = sched_->numPartitions();
+        for (std::uint32_t p = 0; p < parts; ++p)
+            partMetrics_.push_back(
+                std::make_unique<common::MetricsRegistry>(
+                    root.interval(), root.log().windowCapacity()));
+    }
+
+    // Storage stack: partition 0.
+    common::MetricsRegistry &m0 = metricsFor(0);
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        const common::NodeId node = servers_[i]->nodeId();
+        m0.addStatSet("server.", node, servers_[i]->stats());
+        if (devices_[i] != nullptr) {
+            flash::SsdDevice *dev = devices_[i].get();
+            m0.addStatSet("flash.", node, dev->stats());
+            m0.addGauge("flash.ssd.inflight", node, [dev] {
+                return static_cast<double>(dev->inflightOps());
+            });
+            m0.addGauge("flash.ssd.queued", node, [dev] {
+                return static_cast<double>(dev->queuedOps());
+            });
+            m0.addGauge("flash.ssd.busy_channels", node, [dev] {
+                return static_cast<double>(dev->busyChannels());
+            });
+        }
+    }
+
+    for (std::uint32_t i = 0; i < config_.numClients; ++i) {
+        common::MetricsRegistry &m = metricsFor(clientPartition(i));
+        milana::MilanaClient *client = clients_[i].get();
+        m.addStatSet("client.", client->nodeId(), client->stats());
+        clocksync::Clock *clock = &client->clock();
+        m.addGauge("clocksync.offset_ns", client->nodeId(), [clock] {
+            return static_cast<double>(clock->currentOffset());
+        });
+    }
+
+    if (ensemble_ != nullptr) {
+        // Classic mode only (partitioned mode requires Perfect
+        // clocks). Attributed to the network pseudo-node: the skew is
+        // a property of the whole ensemble, not of one client.
+        clocksync::ClockEnsemble *ens = ensemble_.get();
+        m0.addStatSet("clocksync.", net::kNetworkNode,
+                      ensemble_->stats());
+        m0.addGauge("clocksync.max_pairwise_skew_ns", net::kNetworkNode,
+                    [ens] {
+                        return static_cast<double>(
+                            ens->instantaneousMaxPairwiseSkew());
+                    });
+    }
+}
+
+void
+Cluster::startMetricsSamplers()
+{
+    if (sched_ != nullptr) {
+        sched_->enableProfile(config_.metrics->interval());
+        for (std::uint32_t p = 0; p < sched_->numPartitions(); ++p) {
+            partMetrics_[p]->prime();
+            scheduleFirstMetricsTick(sched_->partition(p),
+                                     partMetrics_[p].get());
+        }
+    } else {
+        config_.metrics->prime();
+        scheduleFirstMetricsTick(sim_, config_.metrics);
+    }
+}
+
+void
+Cluster::finishMetrics()
+{
+    if (config_.metrics == nullptr || metricsFinished_)
+        return;
+    metricsFinished_ = true;
+    const common::Time end = now();
+    if (sched_ == nullptr) {
+        flushRegistry(*config_.metrics, end);
+        return;
+    }
+    sched_->flushProfile();
+    std::vector<const common::TimeSeriesLog *> parts;
+    for (auto &reg : partMetrics_) {
+        flushRegistry(*reg, end);
+        parts.push_back(&reg->log());
+    }
+    common::mergeTimeSeries(parts, config_.metrics->log());
+
+    // Scheduler self-profile -> sched.* series. Events and mailbox
+    // traffic are pure functions of the event schedule ("node" is the
+    // partition index); the barrier wall-clock stall is real time and
+    // goes into the non-deterministic section.
+    common::TimeSeriesLog &log = config_.metrics->log();
+    for (const auto &row : sched_->profile()) {
+        common::MetricPoint p;
+        p.windowStart = row.windowStart;
+        p.windowEnd = row.windowEnd;
+        for (std::size_t part = 0; part < row.events.size(); ++part) {
+            const auto node = static_cast<common::NodeId>(part);
+            p.value = static_cast<double>(row.events[part]);
+            log.addPoint("sched.events", node,
+                         common::SeriesKind::Counter, p);
+            p.value = static_cast<double>(row.mailbox[part]);
+            log.addPoint("sched.mailbox_in", node,
+                         common::SeriesKind::Counter, p);
+        }
+        p.value = static_cast<double>(row.windows);
+        log.addPoint("sched.windows", 0, common::SeriesKind::Counter,
+                     p);
+        p.value = static_cast<double>(row.wallNs);
+        log.addPoint("sched.window_wall_ns", 0,
+                     common::SeriesKind::Counter, p,
+                     /*deterministic=*/false);
     }
 }
 
@@ -459,6 +637,8 @@ Cluster::start()
         ensemble_->start();
     for (auto &client : clients_)
         client->start();
+    if (config_.metrics != nullptr)
+        startMetricsSamplers();
 }
 
 common::StatSet

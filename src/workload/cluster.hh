@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "clocksync/sync.hh"
+#include "common/metrics.hh"
 #include "common/trace.hh"
 #include "flash/ssd.hh"
 #include "ftl/dram.hh"
@@ -91,6 +92,17 @@ struct ClusterConfig
      */
     common::TraceLog *trace = nullptr;
     /**
+     * When non-null, the cluster samples every component StatSet plus
+     * a set of instantaneous gauges (clock offsets, pairwise skew,
+     * SSD queue occupancy) into this registry's TimeSeriesLog on the
+     * registry's interval, aligned to interval boundaries of simulated
+     * time. In partitioned mode each partition samples into a private
+     * registry and Cluster::finishMetrics() merges them here
+     * deterministically (plus the scheduler's self-profile). Null =
+     * metrics off, zero cost.
+     */
+    common::MetricsRegistry *metrics = nullptr;
+    /**
      * Worker threads for running this ONE scenario in parallel
      * (conservative time windows, see sim/partition.hh). 0 = classic
      * single-simulator mode, byte-for-byte the historical behavior.
@@ -142,6 +154,17 @@ class Cluster
      */
     void finishTrace();
 
+    /**
+     * Finish the metrics plane: flush the final partial window, and —
+     * in partitioned mode — merge the per-partition series into
+     * config().metrics in deterministic (name, node, windowStart)
+     * order and append the scheduler self-profile as sched.* series
+     * (wall-clock stall goes into the non-deterministic section).
+     * Call after the run, before exporting; idempotent. No-op when
+     * config().metrics is null.
+     */
+    void finishMetrics();
+
     /** Bulk-load the key space into every replica. Run to completion
      *  before starting the workload. */
     void populate();
@@ -192,6 +215,16 @@ class Cluster
      *  the per-partition logs (partitioned). */
     void attachTracers();
 
+    /** Register every component's StatSet and gauges with the
+     *  registry that samples on its partition. */
+    void attachMetrics();
+    /** Prime delta baselines and schedule the periodic samplers
+     *  (start() time, so population is not in the first window). */
+    void startMetricsSamplers();
+    /** Registry sampling partition @p p (config_.metrics in classic
+     *  mode). */
+    common::MetricsRegistry &metricsFor(std::uint32_t p);
+
     /** Partition that runs the storage stack (and populate). */
     sim::Simulator &rootSim();
     /** Client @p i's partition index (0 in classic mode). */
@@ -210,6 +243,8 @@ class Cluster
     std::unique_ptr<net::Fabric> fabric_;
     std::vector<std::unique_ptr<net::Network>> partNets_;
     std::vector<std::unique_ptr<common::TraceLog>> partLogs_;
+    std::vector<std::unique_ptr<common::MetricsRegistry>> partMetrics_;
+    bool metricsFinished_ = false;
     std::uint32_t clientPartitions_ = 0;
     std::unique_ptr<net::Network> net_;
     semel::ShardMap shardMap_;

@@ -236,6 +236,85 @@ TEST(Histogram, LargeValuesDoNotOverflow)
     EXPECT_GT(h.quantile(1.0), 0);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBucket)
+{
+    // All mass in one wide bucket: [65536, 65536+1024). Interpolation
+    // must spread quantiles across the bucket instead of returning one
+    // constant for every q.
+    Histogram h;
+    for (int i = 0; i < 1024; ++i)
+        h.record(65536 + i);
+    EXPECT_LT(h.quantile(0.1), h.quantile(0.9));
+    // Values stay clamped to the observed range.
+    EXPECT_GE(h.quantile(0.0), h.min());
+    EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, QuantileMonotoneInQ)
+{
+    Histogram h;
+    Rng r(29);
+    for (int i = 0; i < 20000; ++i)
+        h.record(r.nextRange(1, 1'000'000));
+    std::int64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+        const std::int64_t v = h.quantile(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+}
+
+TEST(Histogram, P999TracksTail)
+{
+    // 0.2% of samples are slow, so the 99.9th-percentile order
+    // statistic lands inside the tail.
+    Histogram h;
+    for (int i = 0; i < 9980; ++i)
+        h.record(100);
+    for (int i = 0; i < 20; ++i)
+        h.record(1'000'000);
+    EXPECT_LT(h.p99(), 1000);
+    EXPECT_GT(h.p999(), 10'000);
+    EXPECT_LE(h.p999(), h.max());
+}
+
+TEST(Histogram, AssignDeltaIsBucketwiseDifference)
+{
+    Histogram cur, prev, delta;
+    prev.record(10);
+    prev.record(5000);
+    cur = prev;
+    cur.record(10); // one more small sample
+    cur.record(777'777);
+    delta.assignDelta(cur, prev);
+    EXPECT_EQ(delta.count(), 2u);
+    EXPECT_LE(delta.min(), 10);
+    EXPECT_GE(delta.max(), 700'000);
+}
+
+TEST(Histogram, AssignDeltaHandlesReset)
+{
+    Histogram cur, prev, delta;
+    prev.record(100);
+    prev.record(200);
+    prev.record(300);
+    cur.record(42); // fewer samples than prev: counter was reset
+    delta.assignDelta(cur, prev);
+    EXPECT_EQ(delta.count(), 1u);
+    EXPECT_NEAR(static_cast<double>(delta.p50()), 42.0, 1.0);
+}
+
+TEST(Histogram, AssignDeltaEmptyDelta)
+{
+    Histogram cur, prev, delta;
+    cur.record(7);
+    prev = cur;
+    delta.record(999); // stale contents must be cleared
+    delta.assignDelta(cur, prev);
+    EXPECT_EQ(delta.count(), 0u);
+    EXPECT_EQ(delta.quantile(0.5), 0);
+}
+
 TEST(StatSet, CountersCreateOnUse)
 {
     StatSet s;

@@ -106,7 +106,12 @@ main(int argc, char **argv)
             "JSON)\n"
             "  --trace-capacity=N (trace ring size, default 262144)\n"
             "  --perfetto=PATH (Chrome/Perfetto trace-event JSON)\n"
-            "  --monitor (online invariant checks; violations exit 1)\n");
+            "  --monitor (online invariant checks; violations exit 1)\n"
+            "  --metrics=PATH (milana-metrics-v1 time-series JSON +\n"
+            "                  sibling CSV; feed to tools/metrics-"
+            "report)\n"
+            "  --metrics-interval=D (sampling window, default 100ms;\n"
+            "                        ns/us/ms/s suffixes)\n");
         return 0;
     }
 
@@ -134,6 +139,14 @@ main(int argc, char **argv)
             static_cast<std::size_t>(
                 args.getInt("trace-capacity", 262'144)));
         cfg.trace = trace.get();
+    }
+    const std::string metrics_path = args.getString("metrics", "");
+    std::unique_ptr<common::MetricsRegistry> metrics;
+    if (!metrics_path.empty()) {
+        metrics = std::make_unique<common::MetricsRegistry>(
+            args.getDuration("metrics-interval",
+                             100 * common::kMillisecond));
+        cfg.metrics = metrics.get();
     }
     std::unique_ptr<common::InvariantMonitor> monitor;
     if (monitor_on) {
@@ -211,6 +224,7 @@ main(int argc, char **argv)
     cluster.resetStats();
     cluster.runFor(measure);
     cluster.finishTrace();
+    cluster.finishMetrics();
 
     const double seconds = common::toSeconds(measure);
     const auto latency = fleet.mergedLatency();
@@ -272,11 +286,14 @@ main(int argc, char **argv)
                          perfetto_path.c_str());
             return 1;
         }
-        trace->writePerfetto(os);
+        trace->writePerfetto(os, metrics != nullptr ? &metrics->log()
+                                                    : nullptr);
         std::printf("wrote %s (Perfetto trace-event JSON; open at "
                     "ui.perfetto.dev)\n",
                     perfetto_path.c_str());
     }
+    if (metrics != nullptr)
+        bench::writeMetricsOutputs(metrics->log(), metrics_path);
 
     bench::Report report("milana_sim");
     report.params()

@@ -380,6 +380,7 @@ int
 main(int argc, char **argv)
 {
     std::string path;
+    std::string csvPath;
     bool strict = false;
     bool haveTxn = false;
     std::uint64_t txnId = 0;
@@ -391,6 +392,8 @@ main(int argc, char **argv)
         }
         if (arg == "--strict") {
             strict = true;
+        } else if (arg.rfind("--csv=", 0) == 0) {
+            csvPath = arg.substr(6);
         } else if (arg.rfind("--txn=", 0) == 0) {
             haveTxn = true;
             txnId = std::strtoull(arg.c_str() + 6, nullptr, 10);
@@ -409,12 +412,14 @@ main(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: trace-report [--strict] [--txn=<id>] "
-            "<trace.json | trace.csv>\n"
+            "[--csv=PATH] <trace.json | trace.csv>\n"
             "analyzes a milana-trace-v1/v2 event log; see "
             "OBSERVABILITY.md\n"
             "  --strict   exit 3 when the ring evicted events\n"
             "  --txn=<id> per-transaction timeline and critical-path "
-            "breakdown\n");
+            "breakdown\n"
+            "  --csv=PATH also write the latency tables as CSV "
+            "(scope,name,count,mean_us,p50_us,p95_us,p99_us,max_us)\n");
         return 2;
     }
 
@@ -544,6 +549,37 @@ main(int argc, char **argv)
                 "mean", "p50", "p95", "p99", "max");
     for (const auto &[name, hist] : byName)
         printLatencyRow(name, hist);
+
+    if (!csvPath.empty()) {
+        std::ofstream cs(csvPath);
+        if (!cs) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         csvPath.c_str());
+            return 1;
+        }
+        cs << "scope,name,count,mean_us,p50_us,p95_us,p99_us,max_us\n";
+        const auto emit = [&cs](const char *scope,
+                                const std::string &name,
+                                const common::Histogram &h) {
+            char line[256];
+            std::snprintf(line, sizeof(line),
+                          "%s,%s,%llu,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+                          scope, name.c_str(),
+                          static_cast<unsigned long long>(h.count()),
+                          us(h.mean()),
+                          us(static_cast<double>(h.p50())),
+                          us(static_cast<double>(h.p95())),
+                          us(static_cast<double>(h.p99())),
+                          us(static_cast<double>(h.max())));
+            cs << line;
+        };
+        for (const auto &[layer, hist] : byLayer)
+            emit("layer", layer, hist);
+        for (const auto &[name, hist] : byName)
+            emit("span", name, hist);
+        std::printf("\nwrote %s (%zu layer rows, %zu span rows)\n",
+                    csvPath.c_str(), byLayer.size(), byName.size());
+    }
 
     if (!instants.empty()) {
         std::printf("\n--- instant events ---\n");
