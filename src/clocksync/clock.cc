@@ -18,6 +18,11 @@ Duration
 DriftClock::currentOffset() const
 {
     const Time t = sim_.now();
+    if (stuck_) {
+        // Output frozen at lastReturned_: the apparent offset shrinks
+        // (goes negative) as TrueTime advances past the frozen value.
+        return lastReturned_ - t;
+    }
     const double elapsed = static_cast<double>(t - lastSyncTrue_);
     const double offset =
         offsetAtSync_ + (driftPpm_ + servoPpm_) * 1e-6 * elapsed;
@@ -27,6 +32,8 @@ DriftClock::currentOffset() const
 Time
 DriftClock::localNow()
 {
+    if (stuck_)
+        return lastReturned_;
     const Time local = sim_.now() + currentOffset();
     lastReturned_ = std::max(lastReturned_, local);
     return lastReturned_;
@@ -35,6 +42,8 @@ DriftClock::localNow()
 void
 DriftClock::adjustRatePpm(double delta_ppm)
 {
+    if (stuck_)
+        return; // unresponsive oscillator: corrections are lost
     // Re-anchor first so past time is not retroactively re-rated.
     const double now_offset = static_cast<double>(currentOffset());
     offsetAtSync_ = now_offset;
@@ -45,11 +54,56 @@ DriftClock::adjustRatePpm(double delta_ppm)
 void
 DriftClock::applyCorrection(Duration measured_offset, double gain)
 {
+    if (stuck_)
+        return; // unresponsive oscillator: corrections are lost
     // Re-anchor the linear model at the present instant, then subtract
     // the corrected fraction of the measurement.
     const double now_offset = static_cast<double>(currentOffset());
     offsetAtSync_ = now_offset - gain * static_cast<double>(measured_offset);
     lastSyncTrue_ = sim_.now();
+}
+
+void
+DriftClock::step(Duration delta)
+{
+    if (stuck_)
+        return;
+    const double now_offset = static_cast<double>(currentOffset());
+    offsetAtSync_ = now_offset + static_cast<double>(delta);
+    lastSyncTrue_ = sim_.now();
+}
+
+void
+DriftClock::setStuck(bool stuck)
+{
+    if (stuck == stuck_)
+        return;
+    if (stuck) {
+        // Pin the output at its current value.
+        lastReturned_ = std::max(lastReturned_, sim_.now() + currentOffset());
+        stuck_ = true;
+        return;
+    }
+    // Resume ticking from the frozen value: re-anchor the drift model
+    // there, so the clock is now behind TrueTime by the stuck period.
+    stuck_ = false;
+    offsetAtSync_ = static_cast<double>(lastReturned_ - sim_.now());
+    lastSyncTrue_ = sim_.now();
+}
+
+void
+DriftClock::injectDriftPpm(double delta_ppm)
+{
+    // Re-anchor so the new rate applies from now on only. Deliberately
+    // no stuck_ guard: a frozen counter can still have its oscillator
+    // detuned; the effect shows once unstuck.
+    const double now_offset = stuck_
+                                  ? static_cast<double>(lastReturned_ -
+                                                        sim_.now())
+                                  : static_cast<double>(currentOffset());
+    offsetAtSync_ = now_offset;
+    lastSyncTrue_ = sim_.now();
+    driftPpm_ += delta_ppm;
 }
 
 } // namespace clocksync

@@ -109,6 +109,35 @@ class DriftClock : public Clock
     /** Effective drift after servo correction, in ppm. */
     double effectiveDriftPpm() const { return driftPpm_ + servoPpm_; }
 
+    // ------------------------------------------------------------------
+    // Chaos mutation hooks (quiescent points only; see common/chaos.hh).
+    // ------------------------------------------------------------------
+
+    /**
+     * Step (leap) the clock by @p delta ns. A negative step is
+     * absorbed by the monotonicity clamp: localNow() holds its last
+     * value until TrueTime catches up, exactly how a slewing daemon
+     * hides a backwards step. The sync servo will observe the jump at
+     * the next exchange and mis-attribute part of it to frequency
+     * error, producing the decaying skew oscillation real PTP
+     * deployments see after a step.
+     */
+    void step(Duration delta);
+
+    /**
+     * Freeze the clock's output (a stuck oscillator/counter): while
+     * stuck, localNow() keeps returning the freeze value and sync
+     * corrections are ignored. Unsticking re-anchors the drift model
+     * at the frozen value, so the clock resumes from behind and the
+     * protocol has to pull it back in.
+     */
+    void setStuck(bool stuck);
+    bool stuck() const { return stuck_; }
+
+    /** Runaway oscillator: add @p delta_ppm of *physical* drift (the
+     *  servo does not know, and has to fight it via exchanges). */
+    void injectDriftPpm(double delta_ppm);
+
   private:
     sim::Simulator &sim_;
     double driftPpm_;
@@ -117,6 +146,7 @@ class DriftClock : public Clock
     double offsetAtSync_;
     Time lastSyncTrue_ = 0;
     Time lastReturned_ = 0;
+    bool stuck_ = false;
 };
 
 } // namespace clocksync

@@ -93,8 +93,25 @@ SyncAgent::SyncAgent(sim::Simulator &sim, DriftClock &clock,
 }
 
 void
+SyncAgent::setHoldover(bool holdover)
+{
+    holdover_ = holdover;
+    if (!holdover)
+        havePrevious_ = false; // next measurement restarts the servo
+}
+
+void
 SyncAgent::performExchange()
 {
+    if (holdover_) {
+        // Master unreachable: the exchange never happens. Skipping
+        // here (rather than pausing run()) keeps the exchange *phase*
+        // unchanged across the outage, like a real slave's timer.
+        if (stats_ != nullptr)
+            stats_->counter("clocksync.holdover_skips").inc();
+        trace_.instant("clocksync.sync.holdover", cfg_.name);
+        return;
+    }
     // The exchange spans a few hundred microseconds of real time over
     // which the offset moves by picoseconds; we therefore evaluate the
     // slave offset once, at the current instant.
@@ -174,6 +191,19 @@ ClockEnsemble::ClockEnsemble(sim::Simulator &sim, std::size_t n,
         agents_.back()->setStats(&stats_);
         clocks_.push_back(std::move(clock));
     }
+}
+
+void
+ClockEnsemble::setMasterDown(bool down)
+{
+    if (down == masterDown_)
+        return;
+    masterDown_ = down;
+    for (auto &agent : agents_)
+        agent->setHoldover(down);
+    stats_.counter(down ? "clocksync.master_down"
+                        : "clocksync.master_up")
+        .inc();
 }
 
 void

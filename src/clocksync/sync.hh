@@ -92,6 +92,17 @@ class SyncAgent
      *  ensemble; the sim is single-threaded). */
     void setStats(common::StatSet *stats) { stats_ = stats; }
 
+    /**
+     * Holdover mode (PTP master outage, chaos hook): while set,
+     * scheduled exchanges are skipped — no measurement, no correction
+     * — so the clock free-runs on its oscillator. The first exchange
+     * after holdover re-measures from scratch (the previous-offset
+     * history is discarded so the frequency servo does not
+     * mis-attribute the whole holdover error to frequency).
+     */
+    void setHoldover(bool holdover);
+    bool holdover() const { return holdover_; }
+
     /** Trace emission handle; disabled until the cluster attaches it. */
     common::Tracer &tracer() { return trace_; }
 
@@ -101,6 +112,7 @@ class SyncAgent
     SyncConfig cfg_;
     common::Rng rng_;
     bool havePrevious_ = false;
+    bool holdover_ = false;
     common::StatSet *stats_ = nullptr;
     common::Tracer trace_;
 };
@@ -126,8 +138,18 @@ class ClockEnsemble
     void start();
 
     Clock &clock(std::size_t i) { return *clocks_[i]; }
+    /** Mutable drift-clock access (chaos step/stuck/drift hooks). */
+    DriftClock &driftClock(std::size_t i) { return *clocks_[i]; }
     SyncAgent &agent(std::size_t i) { return *agents_[i]; }
     std::size_t size() const { return clocks_.size(); }
+
+    /**
+     * PTP master outage (chaos hook): put every agent in holdover so
+     * no exchange corrects any clock until the master recovers. Counts
+     * transitions in the ensemble stats.
+     */
+    void setMasterDown(bool down);
+    bool masterDown() const { return masterDown_; }
 
     /** Exchange counters/offset histograms of all member agents. */
     const common::StatSet &stats() const { return stats_; }
@@ -157,6 +179,7 @@ class ClockEnsemble
     std::vector<std::unique_ptr<SyncAgent>> agents_;
     common::Histogram skewHist_;
     Duration maxSkew_ = 0;
+    bool masterDown_ = false;
     common::StatSet stats_;
 };
 

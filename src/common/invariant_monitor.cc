@@ -77,15 +77,23 @@ InvariantMonitor::onEvent(const TraceEvent &e)
         const std::int64_t ts = e.arg2;
         auto [it, inserted] = lastCommitTs_.emplace(key, ts);
         if (!inserted) {
-            if (ts < it->second)
-                addViolation(
-                    "commit-monotonic",
-                    "key " + std::to_string(key) + " committed at ts " +
-                        std::to_string(ts) + " after ts " +
-                        std::to_string(it->second),
-                    e.traceId, e);
-            else
+            // Tag "late" marks a CTP / recovery re-application: a
+            // replica catching up on an outcome it missed. Those can
+            // land after newer versions committed elsewhere and are
+            // safe on the multi-version backend, so they fold into the
+            // max without being allowed to regress it — and without
+            // being flagged.
+            if (ts < it->second) {
+                if (e.tag != "late")
+                    addViolation(
+                        "commit-monotonic",
+                        "key " + std::to_string(key) + " committed at ts " +
+                            std::to_string(ts) + " after ts " +
+                            std::to_string(it->second),
+                        e.traceId, e);
+            } else {
                 it->second = ts;
+            }
         }
     }
 

@@ -9,6 +9,10 @@
  *  1. commit-monotonic — per-key commit timestamps never decrease
  *     (`milana.key.commit` instants; equal stamps are legal: recovery
  *     may re-apply a commit, and distinct clients may share a stamp).
+ *     Instants tagged "late" — CTP orphan resolution or recovery
+ *     replay catching a replica up on an outcome it missed — are
+ *     exempt: they may land after newer versions committed elsewhere
+ *     and are safe on the multi-version backend.
  *  2. snapshot-read — a *committed* transaction never observed a
  *     version stamped after its begin timestamp (§3.2). Only valid on
  *     multi-version backends; single-version FTLs legitimately return

@@ -24,6 +24,7 @@ SsdDevice::SsdDevice(sim::Simulator &sim, const Geometry &geometry)
         channelOps_.push_back(
             &stats_.counter("ssd.channel." + std::to_string(c) + ".ops"));
     }
+    channelFactor_.assign(geometry.numChannels, 1.0);
 }
 
 sim::Task<void>
@@ -31,6 +32,9 @@ SsdDevice::service(std::uint32_t block, common::Duration latency,
                    const char *op)
 {
     const std::uint32_t chan = block % geometry_.numChannels;
+    if (channelFactor_[chan] != 1.0)
+        latency = static_cast<common::Duration>(
+            static_cast<double>(latency) * channelFactor_[chan]);
     common::ScopedSpan span(trace_, "flash.ssd.op", op);
     span.setArg(chan);
     const common::Time entered = sim_.now();
@@ -64,6 +68,15 @@ SsdDevice::readPage(PageAddr addr)
         PANIC("read of unprogrammed page " << addr.block << "/"
                                            << addr.page);
     co_await service(addr.block, geometry_.readLatency, "read");
+    // Read-retry storm (gray failure): the controller re-reads with
+    // tuned thresholds, burning more channel time per user read.
+    for (std::uint32_t extra = 0;
+         retryProb_ > 0.0 && extra < retryMax_ &&
+         faultRng_.nextBool(retryProb_);
+         ++extra) {
+        stats_.counter("ssd.read_retries").inc();
+        co_await service(addr.block, geometry_.readLatency, "read_retry");
+    }
     stats_.counter("ssd.reads").inc();
     co_return &block.pages[addr.page];
 }
@@ -161,6 +174,46 @@ SsdDevice::inflightOps() const
 {
     return geometry_.queueDepth -
            static_cast<std::uint32_t>(queue_.available());
+}
+
+void
+SsdDevice::setChannelLatencyFactor(std::uint32_t channel, double factor)
+{
+    if (channel >= channelFactor_.size())
+        PANIC("setChannelLatencyFactor: no channel " << channel);
+    channelFactor_[channel] = factor;
+    stats_.counter("ssd.gray_channel_changes").inc();
+}
+
+void
+SsdDevice::setReadRetryStorm(double probability, std::uint32_t max_extra)
+{
+    retryProb_ = probability;
+    retryMax_ = max_extra;
+}
+
+sim::Task<void>
+SsdDevice::gcStormLoop(std::uint32_t channel)
+{
+    // Synthetic background erases: pure timing load on the channel
+    // (no functional state is touched), through the same queue +
+    // channel mutex as user ops, so admission stays bounded by the
+    // hardware queue depth.
+    while (gcStorm_ && !sim_.stopRequested()) {
+        stats_.counter("ssd.gc_storm_ops").inc();
+        co_await service(channel, geometry_.eraseLatency, "gc_storm");
+    }
+}
+
+void
+SsdDevice::startGcStorm()
+{
+    if (gcStorm_)
+        return;
+    gcStorm_ = true;
+    stats_.counter("ssd.gc_storms").inc();
+    for (std::uint32_t c = 0; c < geometry_.numChannels; ++c)
+        sim::spawn(gcStormLoop(c));
 }
 
 std::uint32_t

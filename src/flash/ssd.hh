@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/random.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -134,6 +135,37 @@ class SsdDevice
     /** Trace emission handle; disabled until the cluster attaches it. */
     common::Tracer &tracer() { return trace_; }
 
+    // ------------------------------------------------------------------
+    // Gray-failure injection hooks (chaos engine; mutations only at
+    // quiescent points, see common/chaos.hh).
+    // ------------------------------------------------------------------
+
+    /** One slow channel: multiply @p channel's service time by
+     *  @p factor (1.0 = healthy again). */
+    void setChannelLatencyFactor(std::uint32_t channel, double factor);
+
+    /**
+     * Read-retry storm: after a read's normal service, each extra
+     * retry happens with probability @p probability (chained, at most
+     * @p max_extra per read), burning another read-latency slot on the
+     * same channel. 0 probability switches the storm off. Coin flips
+     * come from the dedicated fault RNG (setFaultRng), never from a
+     * simulator stream.
+     */
+    void setReadRetryStorm(double probability, std::uint32_t max_extra);
+
+    /** Install the dedicated fault-randomness stream (forked from the
+     *  chaos engine in construction order). */
+    void setFaultRng(common::Rng rng) { faultRng_ = rng; }
+
+    /** GC storm: background erase-length ops hog every channel until
+     *  stopped, modelling garbage-collection backpressure. The ops go
+     *  through the normal queue/channel path, so the queue-depth
+     *  invariant still holds. */
+    void startGcStorm();
+    void stopGcStorm() { gcStorm_ = false; }
+    bool gcStormActive() const { return gcStorm_; }
+
   private:
     struct Block
     {
@@ -148,6 +180,9 @@ class SsdDevice
     sim::Task<void> service(std::uint32_t block, common::Duration latency,
                             const char *op);
 
+    /** One channel's share of a GC storm (see startGcStorm). */
+    sim::Task<void> gcStormLoop(std::uint32_t channel);
+
     sim::Simulator &sim_;
     Geometry geometry_;
     std::vector<Block> blocks_;
@@ -158,6 +193,13 @@ class SsdDevice
     common::Tracer trace_;
     /** Per-channel op counters, pre-resolved (stable map nodes). */
     std::vector<common::Counter *> channelOps_;
+
+    // Gray-failure state (written at quiescent points only).
+    std::vector<double> channelFactor_;
+    double retryProb_ = 0.0;
+    std::uint32_t retryMax_ = 0;
+    bool gcStorm_ = false;
+    common::Rng faultRng_;
 };
 
 } // namespace flash

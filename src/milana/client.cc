@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/chaos.hh"
 #include "common/logging.hh"
 #include "sim/future.hh"
 #include "sim/sync.hh"
@@ -121,6 +122,12 @@ MilanaClient::get(Transaction &txn, Key key)
     }
     if (!resp.has_value() || resp->unavailable) {
         stats_.counter("txn.read_failures").inc();
+        if (chaos_ != nullptr && chaos_->anyActive()) {
+            txn.abortReason_ = semel::AbortReason::Timeout;
+            trace_.instant("milana.txn.fault_active",
+                           chaos_->activeFaultName(),
+                           static_cast<std::int64_t>(key));
+        }
         co_return result; // ok = false
     }
 
@@ -257,7 +264,12 @@ MilanaClient::twoPhaseCommit(Transaction &txn, bool read_only)
     if (votes->anyFailure) {
         result = CommitResult::Failed;
         decision = TxnDecision::Abort;
-        txn.abortReason_ = semel::AbortReason::PrepareFailed;
+        // Under an active fault the lost RPC is (almost certainly) the
+        // fault's doing: report Timeout so retry policies and metrics
+        // can tell infrastructure chaos from a dead shard.
+        txn.abortReason_ = (chaos_ != nullptr && chaos_->anyActive())
+                               ? semel::AbortReason::Timeout
+                               : semel::AbortReason::PrepareFailed;
     } else if (votes->anyAbort) {
         result = CommitResult::Aborted;
         decision = TxnDecision::Abort;
@@ -355,6 +367,15 @@ MilanaClient::commitTransaction(Transaction &txn)
         stats_.counter("txn.failed").inc();
         span.setTag("failed");
         break;
+    }
+    // Chaos attribution: a transaction that died while a fault was
+    // active carries the fault's name in its trace, so
+    // trace-report --txn=<id> answers "why did this txn die?".
+    if (result != CommitResult::Committed && chaos_ != nullptr &&
+        chaos_->anyActive()) {
+        stats_.counter("txn.fault_active_aborts").inc();
+        trace_.instant("milana.txn.fault_active",
+                       chaos_->activeFaultName());
     }
     // Watermark input: the timestamp of the latest *decided*
     // transaction (section 4.4).

@@ -157,6 +157,12 @@ class MilanaClient : public semel::Client
      *  section 4.4). */
     Time lastDecided() const { return lastAcked(); }
 
+    /** Chaos awareness (may be null): prepare failures that happen
+     *  while a fault window is active are reported as Timeout rather
+     *  than PrepareFailed, and non-committed outcomes tag the txn
+     *  trace with the active fault's name (trace-report --txn=). */
+    void setChaos(const common::ChaosEngine *chaos) { chaos_ = chaos; }
+
   protected:
     /** The validation/commit strategy; overridden by the Centiman
      *  baseline (section 5.3). */
@@ -170,6 +176,7 @@ class MilanaClient : public semel::Client
                                            bool read_only);
 
     TxnConfig tcfg_;
+    const common::ChaosEngine *chaos_ = nullptr;
     std::uint64_t nextSerial_ = 1;
     /** Inter-transaction read cache (insertion-order bounded). */
     std::map<Key, Transaction::CachedRead> interTxnCache_;

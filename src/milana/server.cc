@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/chaos.hh"
 #include "common/logging.hh"
 #include "sim/future.hh"
 #include "sim/sync.hh"
@@ -147,6 +148,25 @@ MilanaServer::validate(const PrepareRequest &request)
     return AbortReason::None;
 }
 
+semel::AbortReason
+MilanaServer::classifyAbort(semel::AbortReason reason)
+{
+    // Only the checks that compare timestamps are re-labelled: a
+    // prepared-key conflict is a real lock conflict whatever the
+    // clocks are doing.
+    if (chaos_ == nullptr || !chaos_->clockFaultActive())
+        return reason;
+    switch (reason) {
+      case semel::AbortReason::ReadStale:
+      case semel::AbortReason::WriteStale:
+      case semel::AbortReason::WriteReadConflict:
+        stats_.counter("milana.abort_clock_suspect").inc();
+        return semel::AbortReason::ClockSuspect;
+      default:
+        return reason;
+    }
+}
+
 sim::Task<PrepareResponse>
 MilanaServer::handlePrepare(PrepareRequest request)
 {
@@ -206,7 +226,8 @@ MilanaServer::handlePrepare(PrepareRequest request)
                                        : ks.latestCommitted;
             if (expect != read.observed) {
                 resp.vote = Vote::Abort;
-                resp.reason = semel::AbortReason::ReadStale;
+                resp.reason =
+                    classifyAbort(semel::AbortReason::ReadStale);
                 break;
             }
         }
@@ -227,7 +248,7 @@ MilanaServer::handlePrepare(PrepareRequest request)
         co_return resp;
     }
 
-    const semel::AbortReason reason = validate(request);
+    const semel::AbortReason reason = classifyAbort(validate(request));
     if (reason != semel::AbortReason::None) {
         resp.vote = Vote::Abort;
         resp.reason = reason;
@@ -272,7 +293,7 @@ MilanaServer::handlePrepare(PrepareRequest request)
 // ---------------------------------------------------------- decision
 
 sim::Task<void>
-MilanaServer::applyCommit(TxnEntry &entry)
+MilanaServer::applyCommit(TxnEntry &entry, bool late)
 {
     // Apply buffered writes in parallel; each key's prepared mark is
     // cleared only after its write is durable, so read-only snapshots
@@ -281,7 +302,7 @@ MilanaServer::applyCommit(TxnEntry &entry)
         sim_, static_cast<std::uint32_t>(entry.writeSet.size()));
     for (const auto &write : entry.writeSet) {
         sim::spawn([](MilanaServer *self, Key key, Value value,
-                      Version version, TxnId txn,
+                      Version version, TxnId txn, bool late,
                       std::shared_ptr<sim::Quorum> q) -> sim::Task<void> {
             (void)co_await self->backend_.put(key, value, version);
             auto &ks = self->keys_.state(key);
@@ -290,13 +311,16 @@ MilanaServer::applyCommit(TxnEntry &entry)
                 ks.prepared.reset();
             self->noteCommitted(key, version);
             // Per-key commit record: feeds the invariant monitor's
-            // commit-timestamp monotonicity check.
-            self->trace_.instant("milana.key.commit", {},
+            // commit-timestamp monotonicity check. Tag "late" when the
+            // decision was a CTP / recovery re-application, which can
+            // legally land after newer versions committed elsewhere.
+            self->trace_.instant("milana.key.commit",
+                                 late ? "late" : std::string_view{},
                                  static_cast<std::int64_t>(key),
                                  version.timestamp);
             q->arrive();
         }(this, write.key, write.value, entry.commitVersion, entry.txn,
-          done));
+          late, done));
     }
     if (!entry.writeSet.empty())
         co_await done->wait();
@@ -345,7 +369,7 @@ MilanaServer::handleDecision(DecisionRequest request)
     if (request.decision == TxnDecision::Commit) {
         record.kind = TxnRecordKind::Committed;
         record.writeSet = entry->writeSet;
-        co_await applyCommit(*entry);
+        co_await applyCommit(*entry, request.late);
         txns_.resolve(request.txn, semel::TxnStatus::Committed);
     } else {
         record.kind = TxnRecordKind::Aborted;
@@ -600,6 +624,7 @@ MilanaServer::resolveOrphan(TxnId txn)
     DecisionRequest req;
     req.txn = txn;
     req.decision = decision;
+    req.late = true;
     (void)co_await handleDecision(req);
 
     // As backup coordinator, propagate the outcome to the other
@@ -712,6 +737,7 @@ MilanaServer::recoverAsPrimary()
             DecisionRequest req;
             req.txn = txn;
             req.decision = TxnDecision::Commit;
+            req.late = true;
             (void)co_await handleDecision(req);
         } else {
             // Multi-shard: the CTP scanner will resolve it against the

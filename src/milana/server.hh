@@ -35,6 +35,10 @@
 #include "semel/client.hh"
 #include "semel/server.hh"
 
+namespace common {
+class ChaosEngine;
+}
+
 namespace milana {
 
 using common::NodeId;
@@ -135,7 +139,16 @@ class MilanaServer : public semel::Server
     bool recovering() const { return recovering_; }
     Time leaseUntil() const { return leaseUntil_; }
 
+    /** Chaos awareness (may be null): while a clock fault is active,
+     *  timestamp-order aborts are reported as ClockSuspect so clients
+     *  and traces can tell "time misbehaved" from a real conflict. */
+    void setChaos(const common::ChaosEngine *chaos) { chaos_ = chaos; }
+
   private:
+    /** Remap timestamp-order abort reasons to ClockSuspect while a
+     *  clock fault is active (no-op without a chaos engine). */
+    semel::AbortReason classifyAbort(semel::AbortReason reason);
+
     /** Algorithm 1. Assumes key states are initialized. Returns
      *  AbortReason::None on a commit vote, else the failed check. */
     semel::AbortReason validate(const PrepareRequest &request);
@@ -145,7 +158,7 @@ class MilanaServer : public semel::Server
      *  the version stamps). */
     sim::Task<void> ensureKeyState(Key key);
 
-    sim::Task<void> applyCommit(TxnEntry &entry);
+    sim::Task<void> applyCommit(TxnEntry &entry, bool late);
     void applyAbort(TxnEntry &entry);
 
     sim::Task<void> replicateTxnRecord(ReplicateTxnRecord record,
@@ -165,6 +178,7 @@ class MilanaServer : public semel::Server
 
     MilanaConfig mcfg_;
     clocksync::Clock &clock_;
+    const common::ChaosEngine *chaos_ = nullptr;
     semel::Master &master_;
     semel::Directory &directory_;
 

@@ -36,11 +36,17 @@ Fabric::setNodeDown(NodeId node, bool down)
 void
 Fabric::setLinkBroken(NodeId a, NodeId b, bool broken)
 {
-    const auto link = std::minmax(a, b);
+    setLinkBrokenOneWay(a, b, broken);
+    setLinkBrokenOneWay(b, a, broken);
+}
+
+void
+Fabric::setLinkBrokenOneWay(NodeId from, NodeId to, bool broken)
+{
     if (broken)
-        brokenLinks_.insert({link.first, link.second});
+        brokenLinks_.insert({from, to});
     else
-        brokenLinks_.erase({link.first, link.second});
+        brokenLinks_.erase({from, to});
 }
 
 bool
@@ -48,8 +54,32 @@ Fabric::deliverable(NodeId from, NodeId to) const
 {
     if (nodeDown(from) || nodeDown(to))
         return false;
-    const auto link = std::minmax(from, to);
-    return !brokenLinks_.count({link.first, link.second});
+    return !brokenLinks_.count({from, to});
+}
+
+void
+Fabric::setDelayFactor(double factor)
+{
+    delayFactorAll_ = factor;
+}
+
+void
+Fabric::setLinkDelayFactor(NodeId a, NodeId b, double factor)
+{
+    if (factor == 1.0) {
+        linkDelayFactor_.erase({a, b});
+        linkDelayFactor_.erase({b, a});
+        return;
+    }
+    linkDelayFactor_[{a, b}] = factor;
+    linkDelayFactor_[{b, a}] = factor;
+}
+
+double
+Fabric::delayFactor(NodeId from, NodeId to) const
+{
+    const auto it = linkDelayFactor_.find({from, to});
+    return it != linkDelayFactor_.end() ? it->second : delayFactorAll_;
 }
 
 Network::Network(sim::Simulator &sim, const NetConfig &config,
@@ -78,7 +108,12 @@ Network::sampleDelay()
 Duration
 Network::sampleDelay(NodeId from, NodeId to)
 {
-    const Duration delay = sampleDelay();
+    Duration delay = sampleDelay();
+    const double factor = delayFactor(from, to);
+    if (factor != 1.0)
+        delay = std::max(config_.minLatency,
+                         static_cast<Duration>(std::llround(
+                             static_cast<double>(delay) * factor)));
     auto it = linkDelay_.find({from, to});
     if (it == linkDelay_.end()) {
         const std::string name = "net.link." + std::to_string(from) +
@@ -114,15 +149,21 @@ Network::nodeDown(NodeId node) const
 void
 Network::setLinkBroken(NodeId a, NodeId b, bool broken)
 {
+    setLinkBrokenOneWay(a, b, broken);
+    setLinkBrokenOneWay(b, a, broken);
+}
+
+void
+Network::setLinkBrokenOneWay(NodeId from, NodeId to, bool broken)
+{
     if (fabric_ != nullptr) {
-        fabric_->setLinkBroken(a, b, broken);
+        fabric_->setLinkBrokenOneWay(from, to, broken);
         return;
     }
-    const auto link = std::minmax(a, b);
     if (broken)
-        brokenLinks_.insert({link.first, link.second});
+        brokenLinks_.insert({from, to});
     else
-        brokenLinks_.erase({link.first, link.second});
+        brokenLinks_.erase({from, to});
 }
 
 bool
@@ -132,8 +173,42 @@ Network::deliverable(NodeId from, NodeId to) const
         return fabric_->deliverable(from, to);
     if (nodeDown(from) || nodeDown(to))
         return false;
-    const auto link = std::minmax(from, to);
-    return !brokenLinks_.count({link.first, link.second});
+    return !brokenLinks_.count({from, to});
+}
+
+void
+Network::setDelayFactor(double factor)
+{
+    if (fabric_ != nullptr) {
+        fabric_->setDelayFactor(factor);
+        return;
+    }
+    delayFactorAll_ = factor;
+}
+
+void
+Network::setLinkDelayFactor(NodeId a, NodeId b, double factor)
+{
+    if (fabric_ != nullptr) {
+        fabric_->setLinkDelayFactor(a, b, factor);
+        return;
+    }
+    if (factor == 1.0) {
+        linkDelayFactor_.erase({a, b});
+        linkDelayFactor_.erase({b, a});
+        return;
+    }
+    linkDelayFactor_[{a, b}] = factor;
+    linkDelayFactor_[{b, a}] = factor;
+}
+
+double
+Network::delayFactor(NodeId from, NodeId to) const
+{
+    if (fabric_ != nullptr)
+        return fabric_->delayFactor(from, to);
+    const auto it = linkDelayFactor_.find({from, to});
+    return it != linkDelayFactor_.end() ? it->second : delayFactorAll_;
 }
 
 } // namespace net

@@ -124,7 +124,16 @@ class Fabric
         return node < down_.size() && down_[node];
     }
     void setLinkBroken(NodeId a, NodeId b, bool broken);
+    /** Asymmetric partition: drop only the @p from -> @p to leg. */
+    void setLinkBrokenOneWay(NodeId from, NodeId to, bool broken);
     bool deliverable(NodeId from, NodeId to) const;
+
+    /** Delay spike: multiply every sampled delay by @p factor (>= 1;
+     *  the minLatency floor keeps the lookahead contract either way). */
+    void setDelayFactor(double factor);
+    /** Per-link delay factor, both directions (1.0 = clear). */
+    void setLinkDelayFactor(NodeId a, NodeId b, double factor);
+    double delayFactor(NodeId from, NodeId to) const;
 
   private:
     sim::PartitionedScheduler &sched_;
@@ -132,7 +141,10 @@ class Fabric
     std::vector<Network *> nets_;
     std::vector<std::uint32_t> partitionOf_;
     std::vector<bool> down_;
+    /** Directed: (from, to) present = that leg drops messages. */
     std::set<std::pair<NodeId, NodeId>> brokenLinks_;
+    double delayFactorAll_ = 1.0;
+    std::map<std::pair<NodeId, NodeId>, double> linkDelayFactor_;
 };
 
 class Network
@@ -165,8 +177,19 @@ class Network
     /** Cut / heal the (bidirectional) link between two nodes. */
     void setLinkBroken(NodeId a, NodeId b, bool broken);
 
+    /** Cut / heal one direction only (asymmetric partition). */
+    void setLinkBrokenOneWay(NodeId from, NodeId to, bool broken);
+
     /** True if a message from @p from can currently reach @p to. */
     bool deliverable(NodeId from, NodeId to) const;
+
+    /** Delay spike on every link (>= 0; sampled delays are multiplied
+     *  and re-floored at minLatency, so the partitioned scheduler's
+     *  lookahead bound still holds and no extra RNG draw happens). */
+    void setDelayFactor(double factor);
+    /** Per-link delay factor, both directions (1.0 = clear). */
+    void setLinkDelayFactor(NodeId a, NodeId b, double factor);
+    double delayFactor(NodeId from, NodeId to) const;
 
     common::StatSet &stats() { return stats_; }
 
@@ -371,7 +394,10 @@ class Network
     Fabric *fabric_ = nullptr;
     std::uint32_t partition_ = 0;
     std::vector<bool> down_;
+    /** Directed: (from, to) present = that leg drops messages. */
     std::set<std::pair<NodeId, NodeId>> brokenLinks_;
+    double delayFactorAll_ = 1.0;
+    std::map<std::pair<NodeId, NodeId>, double> linkDelayFactor_;
     common::StatSet stats_;
     common::Tracer tracer_;
     /** Cached per-link histograms; StatSet map nodes are stable. */

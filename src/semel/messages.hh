@@ -150,6 +150,14 @@ enum class AbortReason : std::uint8_t
     SnapshotViolated,
     /** Infrastructure: a participant unreachable or recovering. */
     PrepareFailed,
+    /**
+     * A timestamp-order check failed while a clock fault was active
+     * (chaos): the stamps themselves are suspect, not the data. Set by
+     * the server, crosses the wire in PrepareResponse::reason.
+     */
+    ClockSuspect,
+    /** The RPC timed out while a fault window was active (chaos). */
+    Timeout,
 };
 
 constexpr const char *
@@ -164,6 +172,8 @@ abortReasonName(AbortReason reason)
       case AbortReason::WriteStale: return "write_stale";
       case AbortReason::SnapshotViolated: return "snapshot_violated";
       case AbortReason::PrepareFailed: return "prepare_failed";
+      case AbortReason::ClockSuspect: return "clock_suspect";
+      case AbortReason::Timeout: return "timeout";
     }
     return "?";
 }
@@ -180,6 +190,15 @@ struct DecisionRequest
 {
     TxnId txn;
     TxnDecision decision = TxnDecision::Unknown;
+    /**
+     * The decision is a late re-application (CTP orphan resolution or
+     * recovery replay), not the coordinator's phase-2 message. Late
+     * applies can land after newer versions of the same keys committed
+     * elsewhere — safe on the multi-version backend (latestCommitted
+     * folds with max) and exempted from the invariant monitor's
+     * commit-timestamp monotonicity check.
+     */
+    bool late = false;
 };
 
 struct DecisionResponse

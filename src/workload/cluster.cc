@@ -197,6 +197,20 @@ Cluster::Cluster(const ClusterConfig &config)
         }
     }
 
+    // Chaos wiring: servers classify clock-suspect aborts, clients
+    // classify fault-window timeouts and tag txn traces, devices get
+    // dedicated fault-randomness streams (forked in construction
+    // order — part of the determinism contract).
+    if (config_.chaos != nullptr) {
+        for (auto &server : servers_)
+            server->setChaos(config_.chaos);
+        for (auto &client : clients_)
+            client->setChaos(config_.chaos);
+        for (auto &device : devices_)
+            if (device != nullptr)
+                device->setFaultRng(config_.chaos->forkRng());
+    }
+
     if (config_.trace != nullptr)
         attachTracers();
     if (config_.metrics != nullptr)
@@ -249,16 +263,42 @@ Cluster::now() const
 }
 
 std::uint64_t
-Cluster::runUntil(common::Time t)
+Cluster::rawRunUntil(common::Time t)
 {
     return sched_ != nullptr ? sched_->runUntil(t) : sim_.runUntil(t);
 }
 
 std::uint64_t
+Cluster::runUntil(common::Time t)
+{
+    common::ChaosEngine *chaos = config_.chaos;
+    if (chaos == nullptr)
+        return rawRunUntil(t);
+    // Interleave simulation with the fault schedule: stop at each
+    // pending action time, mutate while quiescent (the same
+    // between-windows rule net::Fabric documents), resume. Identical
+    // in classic and partitioned mode, so chaos runs stay
+    // byte-identical for every simThreads value.
+    std::uint64_t events = 0;
+    for (common::Time next = chaos->nextActionAt();
+         next >= 0 && next <= t; next = chaos->nextActionAt()) {
+        if (next > now())
+            events += rawRunUntil(next);
+        chaos->applyUntil(now(), *this);
+    }
+    events += rawRunUntil(t);
+    return events;
+}
+
+std::uint64_t
 Cluster::runFor(common::Duration d, common::Duration grace)
 {
-    return sched_ != nullptr ? sched_->runFor(d, grace)
-                             : sim_.runFor(d, grace);
+    // Mirrors Simulator::runFor, with the chaos interleave in the
+    // measured span; the wind-down grace runs fault-schedule-free.
+    std::uint64_t n = runUntil(now() + d);
+    requestStop();
+    n += rawRunUntil(now() + grace);
+    return n;
 }
 
 void
@@ -286,8 +326,10 @@ Cluster::finishTrace()
     for (const auto &log : partLogs_)
         parts.push_back(log.get());
     common::mergeTraceLogs(parts, *config_.trace);
-    for (auto &log : partLogs_)
+    for (auto &log : partLogs_) {
+        traceLost_ += log->dropped();
         log->clear();
+    }
 }
 
 void
@@ -320,6 +362,12 @@ Cluster::attachTracers()
         // spans carry TrueTime in both stamps.
         net_->tracer().attach(*config_.trace, net::kNetworkNode,
                               true_now, true_now);
+    }
+    if (config_.chaos != nullptr) {
+        // Inject/heal instants land on the storage partition's log;
+        // they are appended only at quiescent points, from the driver.
+        config_.chaos->tracer().attach(traceFor(0), net::kNetworkNode,
+                                       true_now, true_now);
     }
 
     for (std::size_t i = 0; i < servers_.size(); ++i) {
@@ -412,6 +460,17 @@ Cluster::attachMetrics()
                         return static_cast<double>(
                             ens->instantaneousMaxPairwiseSkew());
                     });
+    }
+
+    if (config_.chaos != nullptr) {
+        // Chaos bookkeeping rides the network pseudo-node: faults are
+        // cluster-wide events, not any one node's. The gauge is a pure
+        // read (the engine mutates only between windows).
+        common::ChaosEngine *chaos = config_.chaos;
+        m0.addStatSet("chaos.", net::kNetworkNode, chaos->stats());
+        m0.addGauge("chaos.active_faults", net::kNetworkNode, [chaos] {
+            return static_cast<double>(chaos->activeCount());
+        });
     }
 }
 
@@ -687,6 +746,192 @@ void
 Cluster::crashServer(common::NodeId node)
 {
     network().setNodeDown(node, true);
+}
+
+std::vector<common::NodeId>
+Cluster::resolveSel(const common::NodeSel &sel) const
+{
+    using Kind = common::NodeSel::Kind;
+    std::vector<common::NodeId> nodes;
+    switch (sel.kind) {
+      case Kind::None:
+        break;
+      case Kind::Node:
+        nodes.push_back(static_cast<common::NodeId>(sel.index));
+        break;
+      case Kind::Primary:
+        nodes.push_back(master_.primaryOf(
+            static_cast<common::ShardId>(sel.index)));
+        break;
+      case Kind::Backup: {
+        const auto backups = master_.backupsOf(
+            static_cast<common::ShardId>(sel.index));
+        if (backups.empty())
+            break;
+        const auto r = std::min<std::size_t>(
+            static_cast<std::size_t>(std::max<std::int64_t>(sel.sub, 0)),
+            backups.size() - 1);
+        nodes.push_back(backups[r]);
+        break;
+      }
+      case Kind::Client:
+        nodes.push_back(static_cast<common::NodeId>(1000 + sel.index));
+        break;
+      case Kind::AllClients:
+        for (std::uint32_t i = 0; i < config_.numClients; ++i)
+            nodes.push_back(1000 + i);
+        break;
+      case Kind::AllServers:
+        for (const auto &server : servers_)
+            nodes.push_back(server->nodeId());
+        break;
+      case Kind::All:
+        for (const auto &server : servers_)
+            nodes.push_back(server->nodeId());
+        for (std::uint32_t i = 0; i < config_.numClients; ++i)
+            nodes.push_back(1000 + i);
+        break;
+    }
+    return nodes;
+}
+
+std::vector<std::size_t>
+Cluster::resolveClockSel(const common::NodeSel &sel) const
+{
+    using Kind = common::NodeSel::Kind;
+    std::vector<std::size_t> clocks;
+    if (ensemble_ == nullptr)
+        return clocks; // Perfect clocks: clock faults are no-ops
+    switch (sel.kind) {
+      case Kind::Node:   // `clock:N` parses as a raw index
+      case Kind::Client: // `client:N` is the same slot
+        if (sel.index >= 0 &&
+            static_cast<std::uint64_t>(sel.index) < config_.numClients)
+            clocks.push_back(static_cast<std::size_t>(sel.index));
+        break;
+      case Kind::AllClients:
+      case Kind::All:
+        for (std::uint32_t i = 0; i < config_.numClients; ++i)
+            clocks.push_back(i);
+        break;
+      default:
+        break;
+    }
+    return clocks;
+}
+
+void
+Cluster::applyFault(const common::FaultSpec &fault, bool start)
+{
+    using common::FaultKind;
+    const auto deviceFor =
+        [this](common::NodeId node) -> flash::SsdDevice * {
+        for (std::size_t i = 0; i < servers_.size(); ++i)
+            if (servers_[i]->nodeId() == node)
+                return devices_[i].get();
+        return nullptr;
+    };
+
+    switch (fault.kind) {
+      case FaultKind::NodeCrash:
+        for (common::NodeId node : resolveSel(fault.selA)) {
+            netFor(0).setNodeDown(node, start);
+            if (start && fault.failover && node < 1000) {
+                // Promote the first surviving backup of the crashed
+                // node's shard, mirroring what an external failure
+                // detector + master would do.
+                const common::ShardId shard =
+                    node / config_.replicasPerShard;
+                if (master_.primaryOf(shard) == node) {
+                    const auto backups = master_.backupsOf(shard);
+                    if (!backups.empty())
+                        sim::spawn(failover(shard, backups.front()));
+                }
+            }
+        }
+        break;
+      case FaultKind::LinkPartition:
+        for (common::NodeId from : resolveSel(fault.selA)) {
+            for (common::NodeId to : resolveSel(fault.selB)) {
+                if (from == to)
+                    continue;
+                if (fault.oneway)
+                    netFor(0).setLinkBrokenOneWay(from, to, start);
+                else
+                    netFor(0).setLinkBroken(from, to, start);
+            }
+        }
+        break;
+      case FaultKind::LinkDelay: {
+        const double factor = start ? fault.magnitude : 1.0;
+        if (fault.selA.kind == common::NodeSel::Kind::All &&
+            fault.selB.kind == common::NodeSel::Kind::None) {
+            netFor(0).setDelayFactor(factor);
+            break;
+        }
+        const auto a = resolveSel(fault.selA);
+        const auto b = fault.selB.kind == common::NodeSel::Kind::None
+                           ? resolveSel(common::NodeSel{
+                                 common::NodeSel::Kind::All, 0, 0})
+                           : resolveSel(fault.selB);
+        for (common::NodeId from : a)
+            for (common::NodeId to : b)
+                if (from != to)
+                    netFor(0).setLinkDelayFactor(from, to, factor);
+        break;
+      }
+      case FaultKind::ClockStep:
+        // Healing a step is meaningless (the leap happened); the
+        // duration only bounds the "fault active" tagging window.
+        if (start)
+            for (std::size_t c : resolveClockSel(fault.selA))
+                ensemble_->driftClock(c).step(
+                    static_cast<common::Duration>(fault.magnitude));
+        break;
+      case FaultKind::ClockStuck:
+        for (std::size_t c : resolveClockSel(fault.selA))
+            ensemble_->driftClock(c).setStuck(start);
+        break;
+      case FaultKind::ClockDrift:
+        // Heal removes the runaway component (oscillator repaired).
+        for (std::size_t c : resolveClockSel(fault.selA))
+            ensemble_->driftClock(c).injectDriftPpm(
+                start ? fault.magnitude : -fault.magnitude);
+        break;
+      case FaultKind::ClockMasterDown:
+        if (ensemble_ != nullptr)
+            ensemble_->setMasterDown(start);
+        break;
+      case FaultKind::SsdSlowChannel:
+        for (common::NodeId node : resolveSel(fault.selA))
+            if (flash::SsdDevice *dev = deviceFor(node);
+                dev != nullptr && fault.channel >= 0 &&
+                static_cast<std::uint32_t>(fault.channel) <
+                    dev->geometry().numChannels)
+                dev->setChannelLatencyFactor(
+                    static_cast<std::uint32_t>(fault.channel),
+                    start ? fault.magnitude : 1.0);
+        break;
+      case FaultKind::SsdReadRetry:
+        for (common::NodeId node : resolveSel(fault.selA))
+            if (flash::SsdDevice *dev = deviceFor(node))
+                dev->setReadRetryStorm(
+                    start ? fault.magnitude : 0.0,
+                    static_cast<std::uint32_t>(
+                        std::max<std::int64_t>(fault.retries, 0)));
+        break;
+      case FaultKind::SsdGcStorm:
+        for (common::NodeId node : resolveSel(fault.selA)) {
+            flash::SsdDevice *dev = deviceFor(node);
+            if (dev == nullptr)
+                continue;
+            if (start)
+                dev->startGcStorm();
+            else
+                dev->stopGcStorm();
+        }
+        break;
+    }
 }
 
 sim::Task<void>

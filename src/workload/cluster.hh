@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "clocksync/sync.hh"
+#include "common/chaos.hh"
 #include "common/metrics.hh"
 #include "common/trace.hh"
 #include "flash/ssd.hh"
@@ -116,9 +117,21 @@ struct ClusterConfig
      * runFor(), not sim().
      */
     std::uint32_t simThreads = 0;
+    /**
+     * When non-null, the cluster acts as the engine's ChaosSink: the
+     * run façade (runUntil/runFor) interleaves simulation with
+     * ChaosEngine::applyUntil at quiescent points, so fault mutations
+     * obey the same between-windows rule as net::Fabric and output
+     * stays byte-identical for every simThreads value. The engine is
+     * also handed to every server and client (abort-reason
+     * classification, fault-name trace tags) and its forked RNG
+     * streams to every SSD (construction order). Arm it with
+     * ChaosEngine::arm(cluster.now()) when the measured phase begins.
+     */
+    common::ChaosEngine *chaos = nullptr;
 };
 
-class Cluster
+class Cluster : private common::ChaosSink
 {
   public:
     explicit Cluster(const ClusterConfig &config);
@@ -153,6 +166,16 @@ class Cluster
      * the merged stream here.
      */
     void finishTrace();
+
+    /**
+     * Events evicted before an attached trace observer could see them:
+     * per-partition ring drops counted at finishTrace() (those events
+     * never reach the merged stream). Classic mode is always 0 — the
+     * observer runs on every append, before eviction. A non-zero value
+     * means an InvariantMonitor verdict may have missed events; size
+     * the TraceLog capacity up until this is 0.
+     */
+    std::uint64_t traceEventsLost() const { return traceLost_; }
 
     /**
      * Finish the metrics plane: flush the final partial window, and —
@@ -210,6 +233,22 @@ class Cluster
                              common::NodeId new_primary);
 
   private:
+    /**
+     * ChaosSink: perform one fault mutation (start or heal). Called by
+     * the chaos engine from runUntil()'s quiescent points only.
+     * Resolves symbolic node selectors against the *current* topology
+     * (so `primary:0` tracks failovers).
+     */
+    void applyFault(const common::FaultSpec &fault, bool start) override;
+    /** Expand a symbolic selector to concrete node ids. */
+    std::vector<common::NodeId> resolveSel(const common::NodeSel &sel) const;
+    /** Clock indices (ensemble slots) a selector names; empty without
+     *  an ensemble (Perfect clocks — clock faults are no-ops). */
+    std::vector<std::size_t> resolveClockSel(const common::NodeSel &sel) const;
+    /** Run without chaos interleaving (the underlying simulator or
+     *  scheduler). */
+    std::uint64_t rawRunUntil(common::Time t);
+
     void buildStorageNode(common::ShardId shard, std::uint32_t replica);
     /** Arm every component's Tracer on config_.trace (classic) or on
      *  the per-partition logs (partitioned). */
@@ -245,6 +284,7 @@ class Cluster
     std::vector<std::unique_ptr<common::TraceLog>> partLogs_;
     std::vector<std::unique_ptr<common::MetricsRegistry>> partMetrics_;
     bool metricsFinished_ = false;
+    std::uint64_t traceLost_ = 0;
     std::uint32_t clientPartitions_ = 0;
     std::unique_ptr<net::Network> net_;
     semel::ShardMap shardMap_;

@@ -6,15 +6,19 @@
  * balance — the serializability invariant — must be intact, and the
  * system must still commit new transactions.
  *
- * Parameterized over seeds so each instance crashes at a different
- * point in the protocol (mid-prepare, mid-decision, mid-replication,
- * idle).
+ * The crash is delivered through a ChaosEngine schedule generated
+ * from the seed (`at <T>ms crash primary:<S> failover`), so the fuzz
+ * exercises the same injection path as `milana-sim --chaos` and the
+ * chaos sweep. Parameterized over seeds so each instance crashes at a
+ * different point in the protocol (mid-prepare, mid-decision,
+ * mid-replication, idle).
  */
 
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "common/chaos.hh"
 #include "milana/client.hh"
 #include "workload/cluster.hh"
 
@@ -42,11 +46,11 @@ balanceOf(const std::string &value, bool *ok)
 
 sim::Task<void>
 transferLoop(Cluster &cluster, std::uint32_t client_index,
-             std::uint64_t seed)
+             std::uint64_t seed, const bool *halt)
 {
     auto &client = cluster.client(client_index);
     common::Rng rng(seed);
-    while (!cluster.sim().stopRequested()) {
+    while (!*halt && !cluster.sim().stopRequested()) {
         const Key from = rng.nextBounded(kAccounts);
         const Key to = (from + 1 + rng.nextBounded(kAccounts - 1)) %
                        kAccounts;
@@ -86,6 +90,19 @@ TEST_P(RecoveryFuzz, InvariantSurvivesRandomCrashPoint)
     const std::uint64_t seed = GetParam();
     common::Rng rng(seed);
 
+    // Seed-derived fault schedule: kill shard (seed % 2)'s primary at
+    // a random instant once transfer traffic is flowing (the setup
+    // transaction finishes by ~60 ms), promoting the first surviving
+    // backup. Any protocol phase may be in flight at the crash.
+    const common::ShardId shard = static_cast<common::ShardId>(seed % 2);
+    const std::uint64_t crashMs = 70 + rng.nextBounded(200);
+    const std::string schedule = "at " + std::to_string(crashMs) +
+                                 "ms crash primary:" +
+                                 std::to_string(shard) + " failover";
+    common::ChaosEngine chaos(seed);
+    std::string err;
+    ASSERT_TRUE(chaos.parse(schedule, &err)) << err;
+
     ClusterConfig cfg;
     cfg.numShards = 2;
     cfg.replicasPerShard = 3;
@@ -94,12 +111,15 @@ TEST_P(RecoveryFuzz, InvariantSurvivesRandomCrashPoint)
     cfg.clocks = ClockKind::PtpSw;
     cfg.numKeys = 1000;
     cfg.seed = seed;
+    cfg.chaos = &chaos;
     Cluster cluster(cfg);
     cluster.populate();
     cluster.start();
+    chaos.arm(cluster.now());
 
     bool scenario_done = false;
-    sim::spawn([](Cluster *cluster, common::Rng rng, std::uint64_t seed,
+    bool halt_transfers = false;
+    sim::spawn([](Cluster *cluster, std::uint64_t seed, bool *halt,
                   bool *done) -> sim::Task<void> {
         auto &setup = cluster->client(0);
         // Let the disciplined clocks advance past the bulk-load stamp:
@@ -119,25 +139,31 @@ TEST_P(RecoveryFuzz, InvariantSurvivesRandomCrashPoint)
         co_await sim::sleepFor(cluster->sim(), 50 * kMillisecond);
 
         for (std::uint32_t c = 1; c < 4; ++c)
-            sim::spawn(transferLoop(*cluster, c, seed * 31 + c));
+            sim::spawn(transferLoop(*cluster, c, seed * 31 + c, halt));
 
-        // Crash shard (seed % 2)'s primary at a random instant within
-        // the first 200 ms of traffic — any protocol phase may be
-        // in flight.
-        const common::ShardId shard =
-            static_cast<common::ShardId>(seed % 2);
-        co_await sim::sleepFor(
-            cluster->sim(),
-            static_cast<common::Duration>(
-                rng.nextBounded(200 * kMillisecond)));
-        const auto victim = cluster->master().primaryOf(shard);
-        cluster->crashServer(victim);
-        const auto promoted = cluster->master().backupsOf(shard)[0];
-        co_await cluster->failover(shard, promoted);
-
-        // Let traffic continue on the new primary, then audit.
-        co_await sim::sleepFor(cluster->sim(), kSecond);
-        cluster->sim().requestStop();
+        // The chaos schedule crashes the shard's primary (and spawns
+        // the failover) somewhere in the next ~210 ms; sleep past the
+        // whole window plus a second of traffic.
+        co_await sim::sleepFor(cluster->sim(),
+                               300 * kMillisecond + kSecond);
+        // Unlike the old direct `co_await failover(...)` form, the
+        // chaos-driven failover runs in the background — and the
+        // promoted primary refuses service until it has waited out
+        // the old primary's lease. Hold the audit until recovery
+        // completes.
+        auto &promoted =
+            cluster->primary(static_cast<common::ShardId>(seed % 2));
+        while (promoted.recovering())
+            co_await sim::sleepFor(cluster->sim(), 10 * kMillisecond);
+        // Leave the CTP scanners running past ctpTimeout so orphaned
+        // multi-shard prepares from the crash window resolve before
+        // the audit.
+        co_await sim::sleepFor(cluster->sim(), 150 * kMillisecond);
+        // Halt the transfer loops but NOT the simulator: after
+        // requestStop servers refuse reads whose timestamp their
+        // current lease doesn't cover (they can no longer renew), and
+        // the promoted primary starts with no lease at all.
+        *halt = true;
         co_await sim::sleepFor(cluster->sim(), 200 * kMillisecond);
 
         auto &auditor = cluster->client(0);
@@ -168,14 +194,19 @@ TEST_P(RecoveryFuzz, InvariantSurvivesRandomCrashPoint)
         // (Note: overwrites account 0; runs after the audit.)
         auto pr = co_await cluster->client(0).commitTransaction(post);
         EXPECT_EQ(pr, CommitResult::Committed) << "seed " << seed;
+        cluster->sim().requestStop();
         *done = true;
-    }(&cluster, rng.fork(), seed, &scenario_done));
+    }(&cluster, seed, &halt_transfers, &scenario_done));
 
-    // Bounded drive: the scenario requests stop itself.
-    cluster.sim().runUntil(cluster.sim().now() + 30 * kSecond);
+    // Bounded drive through the chaos-aware façade (interleaves the
+    // fault schedule at quiescent points); the scenario requests stop
+    // itself.
+    cluster.runUntil(cluster.now() + 30 * kSecond);
     EXPECT_TRUE(scenario_done) << "scenario wedged for seed " << seed;
+    EXPECT_EQ(chaos.injections(), 1u) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(CrashPoints, RecoveryFuzz,
-                         ::testing::Values(11u, 22u, 33u, 44u, 55u,
-                                           66u, 77u, 88u));
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u, 99u, 111u, 123u,
+                                           137u));

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "../bench/bench_util.hh"
+#include "common/chaos.hh"
 #include "common/invariant_monitor.hh"
 #include "common/trace.hh"
 #include "workload/cluster.hh"
@@ -99,6 +100,11 @@ main(int argc, char **argv)
             "                   no --crash-at; output byte-identical "
             "for\n"
             "                   every N>=1)\n"
+            "  --chaos=PATH (fault schedule, see docs/CHAOS.md; armed\n"
+            "                when measurement starts — times are "
+            "relative\n"
+            "                to the end of warmup)\n"
+            "  --chaos-seed=N (fault-randomness seed, default 42)\n"
             "  --dump-stats\n"
             "  --json=PATH  (milana-bench-v1 report with full stat "
             "sets)\n"
@@ -129,6 +135,20 @@ main(int argc, char **argv)
     cfg.centiman = args.has("centiman");
     cfg.simThreads =
         static_cast<std::uint32_t>(args.getInt("sim-threads", 0));
+
+    const std::string chaos_path = args.getString("chaos", "");
+    std::unique_ptr<common::ChaosEngine> chaos;
+    if (!chaos_path.empty()) {
+        chaos = std::make_unique<common::ChaosEngine>(
+            static_cast<std::uint64_t>(args.getInt("chaos-seed", 42)));
+        std::string error;
+        if (!chaos->parseFile(chaos_path, &error)) {
+            std::fprintf(stderr, "error: %s: %s\n", chaos_path.c_str(),
+                         error.c_str());
+            return 2;
+        }
+        cfg.chaos = chaos.get();
+    }
 
     const std::string trace_path = args.getString("trace", "");
     const std::string perfetto_path = args.getString("perfetto", "");
@@ -222,6 +242,15 @@ main(int argc, char **argv)
     cluster.runUntil(cluster.now() + warmup);
     fleet.resetMeasurement();
     cluster.resetStats();
+    if (chaos != nullptr) {
+        // Schedule times are relative to this instant: warmup and
+        // population ran fault-free.
+        chaos->arm(cluster.now());
+        std::printf("chaos armed: %zu fault(s) from %s (seed %lld)\n",
+                    chaos->faultCount(), chaos_path.c_str(),
+                    static_cast<long long>(
+                        args.getInt("chaos-seed", 42)));
+    }
     cluster.runFor(measure);
     cluster.finishTrace();
     cluster.finishMetrics();
@@ -310,6 +339,13 @@ main(int argc, char **argv)
         .set("centiman", cfg.centiman)
         .set("warmup_s", common::toSeconds(warmup))
         .set("seconds", seconds);
+    if (chaos != nullptr) {
+        report.params()
+            .set("chaos", chaos_path)
+            .set("chaos_seed", args.getInt("chaos-seed", 42))
+            .set("chaos_injections", chaos->injections())
+            .set("chaos_heals", chaos->heals());
+    }
     report.addRow()
         .set("committed", fleet.totalCommits())
         .set("aborted", fleet.totalAborts())
