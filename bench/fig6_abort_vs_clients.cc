@@ -40,7 +40,10 @@
  * against the txn.abort.<reason> counters.
  */
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -67,6 +70,9 @@ namespace {
 struct CellResult
 {
     double abortPct = 0.0;
+    /** Real (host) seconds spent bulk-loading the key space; reported
+     *  separately on stdout, never mixed into the measured window. */
+    double populateSeconds = 0.0;
     common::StatSet clientStats;
     common::StatSet serverStats;
 };
@@ -95,7 +101,12 @@ runCell(BackendKind backend, std::uint32_t clients, double alpha,
     cfg.net.minLatency = 1 * common::kMicrosecond;
 
     Cluster cluster(cfg);
+    const auto populate_start = std::chrono::steady_clock::now();
     cluster.populate();
+    const double populate_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      populate_start)
+            .count();
     cluster.start();
 
     RetwisConfig retwis;
@@ -114,6 +125,7 @@ runCell(BackendKind backend, std::uint32_t clients, double alpha,
 
     CellResult result;
     result.abortPct = fleet.abortRate() * 100.0;
+    result.populateSeconds = populate_secs;
     result.clientStats = cluster.clientStats();
     result.serverStats = cluster.serverStats();
     return result;
@@ -159,21 +171,42 @@ main(int argc, char **argv)
         std::uint32_t clients;
         BackendKind backend;
     };
+    // --alpha=F / --clients=N restrict the sweep to matching cells —
+    // the single-cell path for paper-scale runs (e.g. --keys=2000000
+    // --alpha=0.8 --clients=16). Absent, the full grid runs and the
+    // --json report is unchanged.
+    const std::string only_alpha = args.getString("alpha", "");
+    const std::string only_clients = args.getString("clients", "");
     std::vector<Cell> cells;
     for (double alpha : {0.6, 0.8, 0.99}) {
+        if (!only_alpha.empty() &&
+            std::abs(alpha - std::atof(only_alpha.c_str())) > 1e-9)
+            continue;
         for (std::uint32_t clients : {4u, 8u, 16u, 32u}) {
+            if (!only_clients.empty() &&
+                clients != static_cast<std::uint32_t>(
+                               std::atoll(only_clients.c_str())))
+                continue;
             cells.push_back({alpha, clients, BackendKind::SingleVersion});
             cells.push_back({alpha, clients, BackendKind::Mftl});
         }
     }
+    if (cells.empty()) {
+        std::fprintf(stderr,
+                     "error: --alpha/--clients matched no grid cell\n");
+        return 1;
+    }
 
     bench::SweepRunner runner(bench::jobsFromArgs(args));
     std::vector<double> abortPct(cells.size());
+    std::vector<double> populateSecs(cells.size());
     runner.run(cells.size(), [&](std::size_t i) {
         const Cell &c = cells[i];
-        abortPct[i] = runCell(c.backend, c.clients, c.alpha, keys,
-                              warmup, measure, seed, sim_threads)
-                          .abortPct;
+        const CellResult r = runCell(c.backend, c.clients, c.alpha,
+                                     keys, warmup, measure, seed,
+                                     sim_threads);
+        abortPct[i] = r.abortPct;
+        populateSecs[i] = r.populateSeconds;
     });
 
     // Cells come in SFTL/MFTL pairs per (alpha, clients) coordinate.
@@ -190,6 +223,12 @@ main(int argc, char **argv)
             .set("sftl_abort_pct", sftl)
             .set("mftl_abort_pct", mftl);
     }
+    double populate_total = 0;
+    for (const double s : populateSecs)
+        populate_total += s;
+    std::printf("\npopulate wall-clock: %.2f s total across %zu cells "
+                "(bulk load, excluded from the measured window)\n",
+                populate_total, cells.size());
     std::printf(
         "\nPaper (Figure 6): multi-versioning cuts abort rates because\n"
         "tardy read-only transactions commit from a snapshot; the gap\n"

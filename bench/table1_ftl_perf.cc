@@ -18,6 +18,7 @@
  * output is identical for any N.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -42,6 +43,12 @@ struct CellResult
     double kReqPerSec = 0;
     double getLatencyUs = 0;
     double putLatencyUs = 0;
+    /** Real (host) seconds spent in populate — reported separately so
+     *  bulk load never pollutes the steady-state numbers. */
+    double populateSeconds = 0;
+    /** Deterministic data-plane footprint (mapping table + version
+     *  arena) per key, from KvBackend::dataPlaneBytes(). */
+    double bytesPerKey = 0;
 };
 
 CellResult
@@ -74,7 +81,12 @@ runCell(bool unified, double get_percent, std::uint64_t keys,
     workload::MicroBench micro(sim, *backend, cfg);
     // Populate drains the simulator, so the FTLs' periodic background
     // sweeps must start only afterwards.
+    const auto populate_start = std::chrono::steady_clock::now();
     micro.populate();
+    const double populate_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      populate_start)
+            .count();
     if (mftl)
         mftl->start();
     if (vftl)
@@ -90,6 +102,9 @@ runCell(bool unified, double get_percent, std::uint64_t keys,
         static_cast<common::Duration>(micro.getLatency().mean()));
     r.putLatencyUs = toMicros(
         static_cast<common::Duration>(micro.putLatency().mean()));
+    r.populateSeconds = populate_secs;
+    r.bytesPerKey = static_cast<double>(backend->dataPlaneBytes()) /
+                    static_cast<double>(keys);
     return r;
 }
 
@@ -138,24 +153,43 @@ main(int argc, char **argv)
         (unified ? mftlCells : vftlCells)[i / 2] = r;
     });
 
+    // Opt-in so the default report stays byte-identical across
+    // revisions; with --mem each row gains deterministic data-plane
+    // bytes/key from the table + arena accounting.
+    const bool mem = args.has("mem");
+    if (mem)
+        report.params().set("mem", true);
+
+    double populate_total = 0;
     for (std::size_t i = 0; i < getPcts.size(); ++i) {
         const double get_pct = getPcts[i];
         const CellResult &vftl = vftlCells[i];
         const CellResult &mftl = mftlCells[i];
+        populate_total += vftl.populateSeconds + mftl.populateSeconds;
         std::printf(
             "%6.0f | %9.0f %9.0f | %9.1f %9.1f | %9.1f %9.1f\n",
             get_pct, vftl.kReqPerSec, mftl.kReqPerSec,
             vftl.getLatencyUs, mftl.getLatencyUs, vftl.putLatencyUs,
             mftl.putLatencyUs);
-        report.addRow()
-            .set("get_pct", get_pct)
+        auto &row = report.addRow();
+        row.set("get_pct", get_pct)
             .set("vftl_kreq_per_sec", vftl.kReqPerSec)
             .set("mftl_kreq_per_sec", mftl.kReqPerSec)
             .set("vftl_get_latency_us", vftl.getLatencyUs)
             .set("mftl_get_latency_us", mftl.getLatencyUs)
             .set("vftl_put_latency_us", vftl.putLatencyUs)
             .set("mftl_put_latency_us", mftl.putLatencyUs);
+        if (mem)
+            row.set("vftl_bytes_per_key", vftl.bytesPerKey)
+                .set("mftl_bytes_per_key", mftl.bytesPerKey);
     }
+    if (mem)
+        std::printf("\ndata plane: VFTL %.1f B/key, MFTL %.1f B/key "
+                    "(at 100%% gets; table + version arena)\n",
+                    vftlCells[0].bytesPerKey, mftlCells[0].bytesPerKey);
+    std::printf("\npopulate wall-clock: %.2f s total across %zu cells "
+                "(bulk load, excluded from the measured window)\n",
+                populate_total, getPcts.size() * 2);
     std::printf(
         "\nPaper (Table 1): MFTL up to +45%% throughput and up to 7x\n"
         "lower GET latency on read-heavy mixes; VFTL lower PUT latency\n"

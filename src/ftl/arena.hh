@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Size-class arena for version-chain overflow blocks.
+ *
+ * The mapping table (mapping_table.hh) keeps a key's single newest
+ * version inline in its slot; keys with two or more live versions
+ * spill into a block carved from this arena. Blocks come in
+ * power-of-two entry capacities (2, 4, 8, ...); freed blocks go onto
+ * a per-class freelist threaded through the blocks themselves, so in
+ * steady state (put/prune churn at a stable version-count profile)
+ * chain growth performs zero heap allocations — the same discipline
+ * as sim::BlockPool (sim/pool.hh) applies to the data plane.
+ *
+ * Fresh blocks are carved from ~64 KiB slabs obtained with a single
+ * ::operator new each; slabs are retained until the arena is
+ * destroyed. Single-threaded by design, like everything inside one
+ * simulator instance.
+ */
+
+#ifndef FTL_ARENA_HH
+#define FTL_ARENA_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace ftl {
+
+/**
+ * Arena handing out arrays of T with power-of-two capacities.
+ * T's storage is treated as raw memory while a block sits on a
+ * freelist (the first pointer-width bytes hold the freelist link),
+ * so callers must destroy elements before deallocate() and
+ * placement-new them after allocate().
+ */
+template <typename T>
+class ChainArena
+{
+  public:
+    /** Smallest block capacity (class 0). */
+    static constexpr std::uint32_t kMinCapacity = 2;
+    /** Number of size classes; class c holds kMinCapacity << c. */
+    static constexpr std::uint32_t kNumClasses = 24;
+
+    static_assert(sizeof(T) * kMinCapacity >= sizeof(void *),
+                  "freelist link must fit in the smallest block");
+
+    ChainArena() = default;
+    ChainArena(const ChainArena &) = delete;
+    ChainArena &operator=(const ChainArena &) = delete;
+
+    ~ChainArena()
+    {
+        for (void *slab : slabs_)
+            ::operator delete(slab);
+    }
+
+    /** Entry capacity of a size class. */
+    static constexpr std::uint32_t
+    capacityOf(std::uint32_t cls)
+    {
+        return kMinCapacity << cls;
+    }
+
+    /** Smallest class whose capacity is >= @p capacity. */
+    static std::uint32_t
+    classFor(std::uint32_t capacity)
+    {
+        std::uint32_t cls = 0;
+        while (capacityOf(cls) < capacity)
+            ++cls;
+        return cls;
+    }
+
+    /**
+     * Hand out a block of capacityOf(cls) uninitialized T's.
+     * Recycles a freed block when one is available; otherwise carves
+     * from a fresh slab.
+     */
+    T *
+    allocate(std::uint32_t cls)
+    {
+        if (void *p = free_[cls]) {
+            free_[cls] = *static_cast<void **>(p);
+            return static_cast<T *>(p);
+        }
+        return carve(cls);
+    }
+
+    /** Return a block (elements already destroyed) to its class. */
+    void
+    deallocate(T *block, std::uint32_t cls)
+    {
+        void *p = block;
+        *static_cast<void **>(p) = free_[cls];
+        free_[cls] = p;
+    }
+
+    /** Total bytes held in slabs (live + freelisted blocks). */
+    std::uint64_t
+    slabBytes() const
+    {
+        return slab_bytes_;
+    }
+
+  private:
+    static constexpr std::size_t kSlabTarget = 64 * 1024;
+
+    static constexpr std::size_t
+    blockBytes(std::uint32_t cls)
+    {
+        return static_cast<std::size_t>(capacityOf(cls)) * sizeof(T);
+    }
+
+    T *
+    carve(std::uint32_t cls)
+    {
+        const std::size_t block = blockBytes(cls);
+        const std::size_t count =
+            block >= kSlabTarget ? 1 : kSlabTarget / block;
+        auto *base =
+            static_cast<unsigned char *>(::operator new(count * block));
+        slabs_.push_back(base);
+        slab_bytes_ += count * block;
+        // Block 0 is the caller's; the rest join the freelist.
+        for (std::size_t i = 1; i < count; ++i) {
+            void *p = base + i * block;
+            *static_cast<void **>(p) = free_[cls];
+            free_[cls] = p;
+        }
+        return reinterpret_cast<T *>(base);
+    }
+
+    std::array<void *, kNumClasses> free_{};
+    std::vector<void *> slabs_;
+    std::uint64_t slab_bytes_ = 0;
+};
+
+} // namespace ftl
+
+#endif // FTL_ARENA_HH

@@ -10,7 +10,7 @@ DramBackend::DramBackend(sim::Simulator &sim)
 }
 
 DramBackend::DramBackend(sim::Simulator &sim, const Config &config)
-    : sim_(sim), config_(config)
+    : sim_(sim), config_(config), map_(config.expectedKeys)
 {
 }
 
@@ -22,10 +22,9 @@ DramBackend::get(Key key, Version at)
     // taken when the request is issued.
     stats_.counter("dram.gets").inc();
     GetResult result;
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-        it->second.pruneBelowWatermark(watermark_, [](const auto &) {});
-        if (const auto *entry = it->second.findAt(at)) {
+    if (auto chain = map_.find(key)) {
+        chain.pruneBelowWatermark(watermark_, [](const auto &) {});
+        if (const auto *entry = chain.findAt(at)) {
             result.found = true;
             result.version = entry->version;
             result.value = entry->loc.value;
@@ -41,8 +40,8 @@ DramBackend::put(Key key, Value value, Version version)
     // Mutate at entry, then charge the write latency: the new version
     // is visible to lookups issued after this call starts.
     stats_.counter("dram.puts").inc();
-    auto &chain = map_[key];
-    chain.insert(version, Stored{std::move(value)});
+    auto chain = map_.getOrCreate(key);
+    chain.append(version, Stored{std::move(value)});
     chain.pruneBelowWatermark(watermark_, [](const auto &) {});
     co_await sim::sleepFor(sim_, config_.writeLatency);
     co_return PutStatus::Ok;
@@ -65,10 +64,10 @@ DramBackend::setWatermark(Time watermark)
 std::optional<Version>
 DramBackend::versionAt(Key key, Version at)
 {
-    auto it = map_.find(key);
-    if (it == map_.end())
+    auto chain = map_.find(key);
+    if (!chain)
         return std::nullopt;
-    const auto *entry = it->second.findAt(at);
+    const auto *entry = chain.findAt(at);
     return entry == nullptr ? std::nullopt
                             : std::optional<Version>(entry->version);
 }
@@ -76,8 +75,7 @@ DramBackend::versionAt(Key key, Version at)
 std::size_t
 DramBackend::versionCount(Key key) const
 {
-    auto it = map_.find(key);
-    return it == map_.end() ? 0 : it->second.size();
+    return map_.versionCount(key);
 }
 
 } // namespace ftl

@@ -12,10 +12,8 @@
 #ifndef FTL_DRAM_HH
 #define FTL_DRAM_HH
 
-#include <unordered_map>
-
 #include "ftl/kv_backend.hh"
-#include "ftl/version_chain.hh"
+#include "ftl/mapping_table.hh"
 #include "sim/future.hh"
 
 namespace ftl {
@@ -27,6 +25,8 @@ class DramBackend : public KvBackend
     {
         common::Duration readLatency = 200 * common::kNanosecond;
         common::Duration writeLatency = 500 * common::kNanosecond;
+        /** Pre-size the mapping table for this many keys (0 = grow). */
+        std::uint64_t expectedKeys = 0;
     };
 
     explicit DramBackend(sim::Simulator &sim);
@@ -39,6 +39,11 @@ class DramBackend : public KvBackend
     std::optional<Version> versionAt(Key key, Version at) override;
     bool multiVersion() const override { return true; }
     common::StatSet &stats() override { return stats_; }
+    void reserveKeys(std::uint64_t keys) override { map_.reserveKeys(keys); }
+    std::uint64_t dataPlaneBytes() const override
+    {
+        return map_.memoryBytes();
+    }
 
     std::size_t versionCount(Key key) const;
 
@@ -48,11 +53,11 @@ class DramBackend : public KvBackend
         Value value;
     };
 
-    using Chain = VersionChain<Stored>;
+    using Store = VersionStore<Stored>;
 
     sim::Simulator &sim_;
     Config config_;
-    std::unordered_map<Key, Chain> map_;
+    Store map_;
     Time watermark_ = 0;
     common::StatSet stats_;
 };

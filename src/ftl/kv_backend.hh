@@ -13,6 +13,7 @@
 #ifndef FTL_KV_BACKEND_HH
 #define FTL_KV_BACKEND_HH
 
+#include <cstdint>
 #include <optional>
 #include <utility>
 
@@ -103,6 +104,29 @@ class KvBackend
 
     /** True if the backend stores multiple versions per key. */
     virtual bool multiVersion() const = 0;
+
+    /**
+     * Pre-size the in-DRAM mapping structures for @p keys distinct
+     * keys so bulk load performs zero rehashes. Synchronous; no-op
+     * for backends without a resizable index.
+     */
+    virtual void
+    reserveKeys(std::uint64_t keys)
+    {
+        (void)keys;
+    }
+
+    /**
+     * Exact bytes held by the in-DRAM data plane (mapping table slots
+     * + version-chain arena slabs); 0 when the backend keeps no
+     * in-DRAM index. Deterministic — computed from table capacity and
+     * arena accounting, not from the host allocator.
+     */
+    virtual std::uint64_t
+    dataPlaneBytes() const
+    {
+        return 0;
+    }
 
     virtual common::StatSet &stats() = 0;
 };

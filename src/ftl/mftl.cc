@@ -23,6 +23,7 @@ Mftl::Mftl(sim::Simulator &sim, flash::SsdDevice &device,
     : sim_(sim),
       device_(device),
       config_(config),
+      map_(config.expectedKeys),
       liveTuples_(device.geometry().numBlocks, 0),
       pendingPrograms_(device.geometry().numBlocks, 0),
       victimized_(device.geometry().numBlocks, false),
@@ -160,17 +161,15 @@ Mftl::flushTask(std::vector<Pending> batch)
         const Loc loc{addr, static_cast<std::uint16_t>(i)};
         if (p.record.tombstone) {
             // A durable delete: drop the whole chain.
-            auto it = map_.find(p.record.key);
-            if (it != map_.end()) {
-                for (const auto &e : it->second.entries())
+            if (auto chain = map_.find(p.record.key)) {
+                for (const auto &e : chain)
                     dropEntry(e);
-                map_.erase(it);
+                map_.erase(p.record.key);
             }
         } else if (p.relocation) {
-            auto it = map_.find(p.record.key);
-            auto *entry = it == map_.end()
-                              ? nullptr
-                              : it->second.find(p.record.version);
+            auto chain = map_.find(p.record.key);
+            auto *entry =
+                chain ? chain.find(p.record.version) : nullptr;
             if (entry != nullptr) {
                 --liveTuples_[entry->loc.page.block];
                 entry->loc = loc;
@@ -180,10 +179,10 @@ Mftl::flushTask(std::vector<Pending> batch)
             // else: the version was pruned while in flight — the new
             // copy is dead on arrival, which is fine.
         } else {
-            auto &chain = map_[p.record.key];
-            if (chain.insert(p.record.version, loc)) {
+            auto chain = map_.getOrCreate(p.record.key);
+            if (chain.append(p.record.version, loc)) {
                 ++liveTuples_[addr.block];
-                pruneChain(p.record.key, chain);
+                pruneChain(chain);
             }
             // else: idempotent duplicate; dead on arrival.
         }
@@ -198,11 +197,11 @@ Mftl::get(Key key, Version at)
     const Time start = sim_.now();
     stats_.counter("mftl.gets").inc();
 
-    auto it = map_.find(key);
-    if (it == map_.end())
+    auto chain = map_.find(key);
+    if (!chain)
         co_return GetResult::miss();
-    pruneChain(key, it->second);
-    const auto *entry = it->second.findAt(at);
+    pruneChain(chain);
+    const auto *entry = chain.findAt(at);
     if (entry == nullptr)
         co_return GetResult::miss();
 
@@ -267,24 +266,24 @@ Mftl::setWatermark(Time watermark)
 std::optional<Version>
 Mftl::versionAt(Key key, Version at)
 {
-    auto it = map_.find(key);
-    if (it == map_.end())
+    auto chain = map_.find(key);
+    if (!chain)
         return std::nullopt;
-    pruneChain(key, it->second);
-    const auto *entry = it->second.findAt(at);
+    pruneChain(chain);
+    const auto *entry = chain.findAt(at);
     return entry == nullptr ? std::nullopt
                             : std::optional<Version>(entry->version);
 }
 
 void
-Mftl::pruneChain(Key, Chain &chain)
+Mftl::pruneChain(ChainRef chain)
 {
     chain.pruneBelowWatermark(
-        watermark_, [this](const Chain::Entry &e) { dropEntry(e); });
+        watermark_, [this](const Store::Entry &e) { dropEntry(e); });
 }
 
 void
-Mftl::dropEntry(const Chain::Entry &entry)
+Mftl::dropEntry(const Store::Entry &entry)
 {
     --liveTuples_[entry.loc.page.block];
     stats_.counter("mftl.versions_pruned").inc();
@@ -295,8 +294,8 @@ Mftl::watermarkSweep()
 {
     while (!sim_.stopRequested()) {
         co_await sim::sleepFor(sim_, config_.watermarkSweepInterval);
-        for (auto &[key, chain] : map_)
-            pruneChain(key, chain);
+        map_.forEach(
+            [this](Key, ChainRef chain) { pruneChain(chain); });
         kickGc();
     }
 }
@@ -420,10 +419,10 @@ Mftl::gcOnce()
                 const auto &rec = scan.page->records[slot];
                 if (rec.tombstone)
                     continue;
-                auto it = map_.find(rec.key);
-                if (it == map_.end())
+                auto chain = map_.find(rec.key);
+                if (!chain)
                     continue;
-                const auto *entry = it->second.find(rec.version);
+                const auto *entry = chain.find(rec.version);
                 if (entry == nullptr || entry->loc.page != scan.addr ||
                     entry->loc.slot != slot)
                     continue; // dead or already moved
@@ -459,8 +458,7 @@ Mftl::gcOnce()
 std::size_t
 Mftl::versionCount(Key key) const
 {
-    auto it = map_.find(key);
-    return it == map_.end() ? 0 : it->second.size();
+    return map_.versionCount(key);
 }
 
 std::size_t
@@ -493,8 +491,8 @@ Mftl::rebuildFromFlash()
                     // versions <= the tombstone stamp.
                     continue;
                 }
-                auto &chain = map_[rec.key];
-                if (chain.insert(rec.version, Loc{addr, slot})) {
+                auto chain = map_.getOrCreate(rec.key);
+                if (chain.append(rec.version, Loc{addr, slot})) {
                     ++liveTuples_[b];
                     ++recovered;
                 }

@@ -29,13 +29,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "flash/ssd.hh"
 #include "ftl/kv_backend.hh"
+#include "ftl/mapping_table.hh"
 #include "ftl/pack_log.hh"
-#include "ftl/version_chain.hh"
 #include "sim/future.hh"
 #include "sim/task.hh"
 
@@ -59,6 +58,8 @@ class Mftl : public KvBackend
         /** Interval of the background watermark pruning sweep. */
         common::Duration watermarkSweepInterval =
             50 * common::kMillisecond;
+        /** Pre-size the mapping table for this many keys (0 = grow). */
+        std::uint64_t expectedKeys = 0;
     };
 
     Mftl(sim::Simulator &sim, flash::SsdDevice &device,
@@ -72,6 +73,11 @@ class Mftl : public KvBackend
     std::optional<Version> versionAt(Key key, Version at) override;
     bool multiVersion() const override { return true; }
     common::StatSet &stats() override { return stats_; }
+    void reserveKeys(std::uint64_t keys) override { map_.reserveKeys(keys); }
+    std::uint64_t dataPlaneBytes() const override
+    {
+        return map_.memoryBytes();
+    }
 
     /** Start background processes (GC trigger loop, watermark sweep). */
     void start();
@@ -97,7 +103,8 @@ class Mftl : public KvBackend
         std::uint16_t slot;
     };
 
-    using Chain = VersionChain<Loc>;
+    using Store = VersionStore<Loc>;
+    using ChainRef = Store::ChainRef;
 
     void flushBatch(std::vector<Pending> batch);
     sim::Task<void> flushTask(std::vector<Pending> batch);
@@ -116,14 +123,14 @@ class Mftl : public KvBackend
     sim::Task<void> watermarkSweep();
 
     std::int32_t pickVictim() const;
-    void pruneChain(Key key, Chain &chain);
-    void dropEntry(const Chain::Entry &entry);
+    void pruneChain(ChainRef chain);
+    void dropEntry(const Store::Entry &entry);
 
     sim::Simulator &sim_;
     flash::SsdDevice &device_;
     Config config_;
 
-    std::unordered_map<Key, Chain> map_;
+    Store map_;
     /** Live tuples per block (validity counters for GC). */
     std::vector<std::uint32_t> liveTuples_;
     /** Programs issued but whose mapping update is still pending. */

@@ -19,6 +19,7 @@ Vftl::Vftl(sim::Simulator &sim, Sftl &sftl, const Config &config)
     : sim_(sim),
       sftl_(sftl),
       config_(config),
+      map_(config.expectedKeys),
       liveRecords_(sftl.logicalBlocks(), 0),
       pendingWrite_(sftl.logicalBlocks(), false),
       victimized_(sftl.logicalBlocks(), false),
@@ -138,17 +139,15 @@ Vftl::flushTask(std::vector<Pending> batch)
         auto &p = batch[i];
         const Loc loc{lba, static_cast<std::uint16_t>(i)};
         if (p.record.tombstone) {
-            auto it = map_.find(p.record.key);
-            if (it != map_.end()) {
-                for (const auto &e : it->second.entries())
+            if (auto chain = map_.find(p.record.key)) {
+                for (const auto &e : chain)
                     dropEntry(e);
-                map_.erase(it);
+                map_.erase(p.record.key);
             }
         } else if (p.relocation) {
-            auto it = map_.find(p.record.key);
-            auto *entry = it == map_.end()
-                              ? nullptr
-                              : it->second.find(p.record.version);
+            auto chain = map_.find(p.record.key);
+            auto *entry =
+                chain ? chain.find(p.record.version) : nullptr;
             if (entry != nullptr) {
                 --liveRecords_[static_cast<std::size_t>(entry->loc.lba)];
                 entry->loc = loc;
@@ -156,8 +155,8 @@ Vftl::flushTask(std::vector<Pending> batch)
                 stats_.counter("vftl.gc_remapped").inc();
             }
         } else {
-            auto &chain = map_[p.record.key];
-            if (chain.insert(p.record.version, loc)) {
+            auto chain = map_.getOrCreate(p.record.key);
+            if (chain.append(p.record.version, loc)) {
                 ++liveRecords_[static_cast<std::size_t>(lba)];
                 pruneChain(chain);
             }
@@ -173,11 +172,11 @@ Vftl::get(Key key, Version at)
     const Time start = sim_.now();
     stats_.counter("vftl.gets").inc();
 
-    auto it = map_.find(key);
-    if (it == map_.end())
+    auto chain = map_.find(key);
+    if (!chain)
         co_return GetResult::miss();
-    pruneChain(it->second);
-    const auto *entry = it->second.findAt(at);
+    pruneChain(chain);
+    const auto *entry = chain.findAt(at);
     if (entry == nullptr)
         co_return GetResult::miss();
 
@@ -241,24 +240,24 @@ Vftl::setWatermark(Time watermark)
 std::optional<Version>
 Vftl::versionAt(Key key, Version at)
 {
-    auto it = map_.find(key);
-    if (it == map_.end())
+    auto chain = map_.find(key);
+    if (!chain)
         return std::nullopt;
-    pruneChain(it->second);
-    const auto *entry = it->second.findAt(at);
+    pruneChain(chain);
+    const auto *entry = chain.findAt(at);
     return entry == nullptr ? std::nullopt
                             : std::optional<Version>(entry->version);
 }
 
 void
-Vftl::pruneChain(Chain &chain)
+Vftl::pruneChain(ChainRef chain)
 {
     chain.pruneBelowWatermark(
-        watermark_, [this](const Chain::Entry &e) { dropEntry(e); });
+        watermark_, [this](const Store::Entry &e) { dropEntry(e); });
 }
 
 void
-Vftl::dropEntry(const Chain::Entry &entry)
+Vftl::dropEntry(const Store::Entry &entry)
 {
     --liveRecords_[static_cast<std::size_t>(entry.loc.lba)];
     stats_.counter("vftl.versions_pruned").inc();
@@ -269,8 +268,8 @@ Vftl::watermarkSweep()
 {
     while (!sim_.stopRequested()) {
         co_await sim::sleepFor(sim_, config_.watermarkSweepInterval);
-        for (auto &[key, chain] : map_)
-            pruneChain(chain);
+        map_.forEach(
+            [this](Key, ChainRef chain) { pruneChain(chain); });
         kickGc();
     }
 }
@@ -379,10 +378,10 @@ Vftl::gcOnce()
                 const auto &rec = page.records[slot];
                 if (rec.tombstone)
                     continue;
-                auto it = map_.find(rec.key);
-                if (it == map_.end())
+                auto chain = map_.find(rec.key);
+                if (!chain)
                     continue;
-                const auto *entry = it->second.find(rec.version);
+                const auto *entry = chain.find(rec.version);
                 if (entry == nullptr || entry->loc.lba != scan.lba ||
                     entry->loc.slot != slot)
                     continue;
@@ -431,8 +430,8 @@ Vftl::rebuildFromStore()
             const auto &rec = page->records[slot];
             if (rec.tombstone)
                 continue;
-            auto &chain = map_[rec.key];
-            if (chain.insert(rec.version, Loc{lba, slot})) {
+            auto chain = map_.getOrCreate(rec.key);
+            if (chain.append(rec.version, Loc{lba, slot})) {
                 ++liveRecords_[static_cast<std::size_t>(lba)];
                 ++recovered;
             }
@@ -444,8 +443,7 @@ Vftl::rebuildFromStore()
 std::size_t
 Vftl::versionCount(Key key) const
 {
-    auto it = map_.find(key);
-    return it == map_.end() ? 0 : it->second.size();
+    return map_.versionCount(key);
 }
 
 } // namespace ftl

@@ -26,13 +26,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "ftl/kv_backend.hh"
+#include "ftl/mapping_table.hh"
 #include "ftl/pack_log.hh"
 #include "ftl/sftl.hh"
-#include "ftl/version_chain.hh"
 #include "sim/future.hh"
 #include "sim/task.hh"
 
@@ -54,6 +53,8 @@ class Vftl : public KvBackend
         std::uint32_t recordSize = 512;
         common::Duration watermarkSweepInterval =
             50 * common::kMillisecond;
+        /** Pre-size the mapping table for this many keys (0 = grow). */
+        std::uint64_t expectedKeys = 0;
     };
 
     Vftl(sim::Simulator &sim, Sftl &sftl, const Config &config);
@@ -65,6 +66,11 @@ class Vftl : public KvBackend
     std::optional<Version> versionAt(Key key, Version at) override;
     bool multiVersion() const override { return true; }
     common::StatSet &stats() override { return stats_; }
+    void reserveKeys(std::uint64_t keys) override { map_.reserveKeys(keys); }
+    std::uint64_t dataPlaneBytes() const override
+    {
+        return map_.memoryBytes();
+    }
 
     void start();
 
@@ -86,7 +92,8 @@ class Vftl : public KvBackend
         std::uint16_t slot;
     };
 
-    using Chain = VersionChain<Loc>;
+    using Store = VersionStore<Loc>;
+    using ChainRef = Store::ChainRef;
 
     void flushBatch(std::vector<Pending> batch);
     sim::Task<void> flushTask(std::vector<Pending> batch);
@@ -99,14 +106,14 @@ class Vftl : public KvBackend
     sim::Task<void> watermarkSweep();
     std::int64_t pickVictim() const;
 
-    void pruneChain(Chain &chain);
-    void dropEntry(const Chain::Entry &entry);
+    void pruneChain(ChainRef chain);
+    void dropEntry(const Store::Entry &entry);
 
     sim::Simulator &sim_;
     Sftl &sftl_;
     Config config_;
 
-    std::unordered_map<Key, Chain> map_;
+    Store map_;
     std::vector<std::uint32_t> liveRecords_;
     std::vector<bool> pendingWrite_;
     /** LBAs being compacted by the current GC pass. */

@@ -29,6 +29,14 @@ MilanaServer::MilanaServer(sim::Simulator &sim, net::Network &net,
 }
 
 void
+MilanaServer::reserveKeys(std::uint64_t keys)
+{
+    semel::Server::reserveKeys(keys);
+    keyStateReady_.reserve(keys);
+    keys_.reserve(keys);
+}
+
+void
 MilanaServer::start()
 {
     started_ = true;
@@ -44,13 +52,13 @@ MilanaServer::loadKey(Key key, Value value, Version version)
     noteCommitted(key, version);
     auto &ks = keys_.state(key);
     ks.latestCommitted = std::max(ks.latestCommitted, version);
-    keyStateReady_[key] = true;
+    keyStateReady_.insert(key);
 }
 
 sim::Task<void>
 MilanaServer::ensureKeyState(Key key)
 {
-    if (keyStateReady_.count(key))
+    if (keyStateReady_.contains(key))
         co_return;
     // Rebuild ts_latestCommitted from the version stamps in storage
     // (section 4.5); ts_latestRead is unrecoverable — the lease wait
@@ -59,7 +67,7 @@ MilanaServer::ensureKeyState(Key key)
     auto &ks = keys_.state(key);
     if (latest.found)
         ks.latestCommitted = std::max(ks.latestCommitted, latest.version);
-    keyStateReady_[key] = true;
+    keyStateReady_.insert(key);
 }
 
 // ------------------------------------------------------------- reads

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "clocksync/clock.hh"
+#include "ftl/mapping_table.hh"
 #include "milana/txn_table.hh"
 #include "semel/client.hh"
 #include "semel/server.hh"
@@ -80,6 +81,8 @@ class MilanaServer : public semel::Server
 
     /** Start background processes (lease renewal, CTP scanner). */
     void start();
+
+    void reserveKeys(std::uint64_t keys) override;
 
     // -------------------------------------------------- RPC handlers
 
@@ -185,7 +188,7 @@ class MilanaServer : public semel::Server
     TxnTable txns_;
     KeyStateTable keys_;
     /** Keys whose DRAM state is initialized. */
-    std::unordered_map<Key, bool> keyStateReady_;
+    ftl::KeySet keyStateReady_;
 
     /** Backup-side log of replicated transaction records. */
     std::vector<ReplicateTxnRecord> txnLog_;

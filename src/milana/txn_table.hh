@@ -104,6 +104,9 @@ class KeyStateTable
 
     void clear() { states_.clear(); }
 
+    /** Pre-size for a bulk load of @p keys keys (zero rehashes). */
+    void reserve(std::size_t keys) { states_.reserve(keys); }
+
   private:
     std::unordered_map<Key, KeyState> states_;
 };

@@ -39,6 +39,13 @@ Server::setBackups(std::vector<Server *> backups)
     backups_ = std::move(backups);
 }
 
+void
+Server::reserveKeys(std::uint64_t keys)
+{
+    backend_.reserveKeys(keys);
+    latestWritten_.reserve(keys);
+}
+
 Version
 Server::latestCommitted(Key key) const
 {

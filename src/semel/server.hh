@@ -73,6 +73,13 @@ class Server
     void setBackups(std::vector<Server *> backups);
     const std::vector<Server *> &backups() const { return backups_; }
 
+    /**
+     * Pre-size the per-key DRAM state and the backend's mapping table
+     * for a bulk load of @p keys distinct keys, so populate performs
+     * zero rehashes.
+     */
+    virtual void reserveKeys(std::uint64_t keys);
+
     // -------------------------------------------------- RPC handlers
 
     /** Read the youngest version with stamp <= request.at. */

@@ -557,7 +557,9 @@ Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
       case BackendKind::Dram: {
         devices_.push_back(nullptr);
         sftls_.push_back(nullptr);
-        auto dram = std::make_unique<ftl::DramBackend>(sim);
+        ftl::DramBackend::Config cfg;
+        cfg.expectedKeys = shard_keys;
+        auto dram = std::make_unique<ftl::DramBackend>(sim, cfg);
         backend = dram.get();
         backends_.push_back(std::move(dram));
         break;
@@ -571,6 +573,7 @@ Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
         sftls_.push_back(nullptr);
         ftl::Mftl::Config cfg;
         cfg.recordSize = config_.recordSize;
+        cfg.expectedKeys = shard_keys;
         auto mftl = std::make_unique<ftl::Mftl>(sim, *devices_.back(),
                                                 cfg);
         backend = mftl.get();
@@ -587,6 +590,7 @@ Cluster::buildStorageNode(common::ShardId shard, std::uint32_t replica)
             sim, *devices_.back(), ftl::Sftl::Config{}));
         ftl::Vftl::Config cfg;
         cfg.recordSize = config_.recordSize;
+        cfg.expectedKeys = shard_keys;
         auto vftl = std::make_unique<ftl::Vftl>(sim, *sftls_.back(),
                                                 cfg);
         backend = vftl.get();
@@ -648,6 +652,14 @@ Cluster::primary(common::ShardId shard)
 void
 Cluster::populate()
 {
+    // Pre-size every server's per-key DRAM state (and its backend's
+    // mapping table) for this shard's share of the key space, so the
+    // bulk load below performs zero rehashes.
+    const std::uint64_t shard_keys =
+        config_.numKeys / config_.numShards + config_.numKeys / 10 + 64;
+    for (auto &server : servers_)
+        server->reserveKeys(shard_keys);
+
     const std::uint32_t workers = 64;
     auto remaining = std::make_shared<std::uint32_t>(workers);
     for (std::uint32_t w = 0; w < workers; ++w) {

@@ -16,6 +16,9 @@ MicroBench::MicroBench(sim::Simulator &sim, ftl::KvBackend &backend,
 void
 MicroBench::populate()
 {
+    // Pre-size the backend's mapping table: the load below inserts
+    // every key exactly once, so this makes populate rehash-free.
+    backend_.reserveKeys(config_.numKeys);
     const std::uint32_t loaders = 64;
     for (std::uint32_t w = 0; w < loaders; ++w) {
         sim::spawn([](MicroBench *self, std::uint64_t first,

@@ -708,6 +708,54 @@ TEST_P(BackendParamTest, MonotoneVersionsReadBack)
 INSTANTIATE_TEST_SUITE_P(AllMultiVersionBackends, BackendParamTest,
                          ::testing::Values("mftl", "vftl", "dram"));
 
+TEST(Dram, PaperScalePopulateIdenticalAcrossTableCapacities)
+{
+    // 2M keys — the paper's Figure 6 key count. Populate one backend
+    // that grows from the default table capacity and one pre-sized via
+    // Config::expectedKeys; reads must be byte-identical, so table
+    // geometry (grow schedule, slot order, robin-hood displacement)
+    // is unobservable.
+    constexpr Key kKeys = 2'000'000;
+    sim::Simulator s1, s2;
+    DramBackend grown(s1);
+    DramBackend::Config cfg;
+    cfg.expectedKeys = kKeys;
+    DramBackend sized(s2, cfg);
+
+    auto populate = [](sim::Simulator &s, DramBackend &d) {
+        runSim(s, [&]() -> sim::Task<void> {
+            for (Key k = 0; k < kKeys; ++k)
+                co_await d.put(k, "k" + std::to_string(k % 97),
+                               v(static_cast<common::Time>(k % 1000) + 1,
+                                 static_cast<common::ClientId>(k % 5)));
+        });
+    };
+    populate(s1, grown);
+    populate(s2, sized);
+
+    auto snapshot = [](sim::Simulator &s, DramBackend &d) {
+        std::vector<GetResult> out;
+        runSim(s, [&]() -> sim::Task<void> {
+            for (Key k = 0; k < kKeys; k += 499) {
+                const Version cut =
+                    v(static_cast<common::Time>(k % 1000) + 1, 9);
+                out.push_back(co_await d.get(k, cut));
+            }
+        });
+        return out;
+    };
+    const auto a = snapshot(s1, grown);
+    const auto b = snapshot(s2, sized);
+    ASSERT_EQ(a.size(), b.size());
+    bool identical = true;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        identical &= a[i].found == b[i].found &&
+                     a[i].version == b[i].version &&
+                     a[i].value == b[i].value;
+    EXPECT_TRUE(identical);
+    EXPECT_EQ(grown.versionCount(12345), sized.versionCount(12345));
+}
+
 TEST(Vftl, RebuildFromStoreRecoversMappings)
 {
     VftlFixture f;
