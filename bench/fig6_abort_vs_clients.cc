@@ -75,6 +75,10 @@ struct CellResult
     double populateSeconds = 0.0;
     common::StatSet clientStats;
     common::StatSet serverStats;
+    /** Partitioned-scheduler self-counters; all zero when the cell ran
+     *  in classic mode. Deterministic for every sim-threads >= 1, so
+     *  embedding them in the byte-compared report is safe. */
+    Cluster::SchedStats sched;
 };
 
 CellResult
@@ -128,6 +132,7 @@ runCell(BackendKind backend, std::uint32_t clients, double alpha,
     result.populateSeconds = populate_secs;
     result.clientStats = cluster.clientStats();
     result.serverStats = cluster.serverStats();
+    result.sched = cluster.schedStats();
     return result;
 }
 
@@ -200,6 +205,7 @@ main(int argc, char **argv)
     bench::SweepRunner runner(bench::jobsFromArgs(args));
     std::vector<double> abortPct(cells.size());
     std::vector<double> populateSecs(cells.size());
+    std::vector<Cluster::SchedStats> sched(cells.size());
     runner.run(cells.size(), [&](std::size_t i) {
         const Cell &c = cells[i];
         const CellResult r = runCell(c.backend, c.clients, c.alpha,
@@ -207,6 +213,7 @@ main(int argc, char **argv)
                                      sim_threads);
         abortPct[i] = r.abortPct;
         populateSecs[i] = r.populateSeconds;
+        sched[i] = r.sched;
     });
 
     // Cells come in SFTL/MFTL pairs per (alpha, clients) coordinate.
@@ -217,11 +224,23 @@ main(int argc, char **argv)
         std::printf("%7.2f %9u | %7.2f%% %7.2f%% | %8.2f\n", c.alpha,
                     c.clients, sftl, mftl,
                     sftl > 0 ? mftl / sftl : 0.0);
-        report.addRow()
-            .set("alpha", c.alpha)
+        auto &row = report.addRow();
+        row.set("alpha", c.alpha)
             .set("clients", c.clients)
             .set("sftl_abort_pct", sftl)
             .set("mftl_abort_pct", mftl);
+        if (sim_threads > 0) {
+            // The MFTL cell's scheduler self-counters make the
+            // adaptive engine's wins (windows skipped, barriers
+            // avoided) machine-readable per grid coordinate; they are
+            // identical for every --sim-threads >= 1, so the report
+            // still byte-compares across thread counts.
+            const Cluster::SchedStats &s = sched[i + 1];
+            row.set("sched_windows", s.windows)
+                .set("sched_windows_skipped", s.skipped)
+                .set("sched_barriers", s.barriers)
+                .set("sched_events", s.events);
+        }
     }
     double populate_total = 0;
     for (const double s : populateSecs)
@@ -316,6 +335,12 @@ main(int argc, char **argv)
             .set("trace_alpha", trace_alpha)
             .set("trace_clients", trace_clients)
             .set("trace_abort_pct", cell.abortPct);
+        if (sim_threads > 0)
+            report.params()
+                .set("trace_sched_windows", cell.sched.windows)
+                .set("trace_sched_windows_skipped", cell.sched.skipped)
+                .set("trace_sched_barriers", cell.sched.barriers)
+                .set("trace_sched_events", cell.sched.events);
         report.addStats("traced_cell.client", cell.clientStats,
                         "client.");
         report.addStats("traced_cell.server", cell.serverStats,

@@ -17,6 +17,12 @@
  *
  * --jobs=N runs sweep cells on N worker threads (sweep_runner.hh);
  * output is identical for any N.
+ *
+ * --sim-threads=N asks for partitioned DES inside each cell.
+ * Partitioned mode requires Perfect clocks and no Centiman, and every
+ * Figure 9 cell runs software PTP, so the guard in runCell forces
+ * classic mode here; the flag exists so all figure benches share one
+ * interface.
  */
 
 #include <cstdio>
@@ -47,7 +53,8 @@ struct Cell
 Cell
 runCell(bool centiman, double alpha, std::uint64_t keys,
         std::uint32_t clients, common::Duration warmup,
-        common::Duration measure, std::uint64_t seed)
+        common::Duration measure, std::uint64_t seed,
+        std::uint32_t simThreads)
 {
     ClusterConfig cfg;
     cfg.numShards = 3;
@@ -59,6 +66,12 @@ runCell(bool centiman, double alpha, std::uint64_t keys,
     cfg.seed = seed;
     cfg.centiman = centiman;
     cfg.centimanDisseminateEvery = 1000;
+    // Partitioned DES is only legal under Perfect clocks and without
+    // Centiman's shared watermark state; every Figure 9 cell is
+    // disciplined, so this always resolves to classic mode.
+    cfg.simThreads =
+        cfg.clocks == ClockKind::Perfect && !cfg.centiman ? simThreads
+                                                          : 0;
 
     Cluster cluster(cfg);
     cluster.populate();
@@ -72,10 +85,10 @@ runCell(bool centiman, double alpha, std::uint64_t keys,
     RetwisWorkload fleet(cluster, retwis);
     fleet.start();
 
-    cluster.sim().runUntil(cluster.sim().now() + warmup);
+    cluster.runUntil(cluster.now() + warmup);
     fleet.resetMeasurement();
     cluster.resetStats();
-    cluster.sim().runFor(measure);
+    cluster.runFor(measure);
 
     Cell cell;
     cell.txnPerSec = static_cast<double>(fleet.totalCommits()) /
@@ -107,6 +120,11 @@ main(int argc, char **argv)
     const auto measure =
         args.getInt("seconds", args.has("full") ? 60 : 2) * kSecond;
     const std::uint64_t seed = args.getInt("seed", 1);
+    // Like --jobs, --sim-threads is not a report param: it must never
+    // change results, so reports from different values must compare
+    // byte-identical.
+    const auto simThreads =
+        static_cast<std::uint32_t>(args.getInt("sim-threads", 0));
 
     bench::Report report("fig9_centiman");
     report.params()
@@ -134,7 +152,7 @@ main(int argc, char **argv)
     runner.run(alphas.size() * 2, [&](std::size_t i) {
         const bool centiman = (i % 2 != 0);
         Cell cell = runCell(centiman, alphas[i / 2], keys, clients,
-                            warmup, measure, seed);
+                            warmup, measure, seed, simThreads);
         (centiman ? centiCells : milanaCells)[i / 2] = cell;
     });
 

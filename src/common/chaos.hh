@@ -26,6 +26,11 @@
  *    engine is armed no action fires, which keeps populate/warmup
  *    phases fault-free and lets harnesses schedule in "time since
  *    measurement start".
+ *  - nextActionAt() is the clamp the partitioned scheduler's adaptive
+ *    windows honor: Cluster's run façade splits every runUntil() at
+ *    the next pending action time, so an idle-gap skip can never jump
+ *    over a scheduled fault — mutations land at the same simulated
+ *    instants for every --sim-threads value.
  */
 
 #ifndef COMMON_CHAOS_HH

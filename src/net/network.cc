@@ -26,6 +26,48 @@ Fabric::setPartition(NodeId node, std::uint32_t partition)
 }
 
 void
+Fabric::declareRoute(NodeId from, NodeId to, Duration minLatency)
+{
+    if (minLatency <= 0)
+        minLatency = config_.minLatency;
+    // Every sampled delay is floored at config_.minLatency (delay
+    // factors are >= 1 and re-floored), so no route may promise a
+    // larger minimum than the sampler actually guarantees.
+    if (minLatency > config_.minLatency)
+        PANIC("declareRoute(" << from << ", " << to << ") minimum "
+              << minLatency << " exceeds the sampling floor "
+              << config_.minLatency);
+    const std::uint32_t parts = sched_.numPartitions();
+    if (edgeMin_.empty())
+        edgeMin_.assign(static_cast<std::size_t>(parts) * parts,
+                        sim::PartitionedScheduler::kNoEdge);
+    const std::uint32_t src = partitionOf(from);
+    const std::uint32_t dst = partitionOf(to);
+    if (src == dst)
+        return; // partition-local traffic never crosses a mailbox
+    Duration &slot = edgeMin_[static_cast<std::size_t>(src) * parts +
+                             dst];
+    slot = std::min(slot, minLatency);
+    anyRoute_ = true;
+}
+
+void
+Fabric::applyLookahead()
+{
+    if (!anyRoute_)
+        return;
+    const std::uint32_t parts = sched_.numPartitions();
+    std::vector<std::vector<Duration>> matrix(
+        parts, std::vector<Duration>(
+                   parts, sim::PartitionedScheduler::kNoEdge));
+    for (std::uint32_t src = 0; src < parts; ++src)
+        for (std::uint32_t dst = 0; dst < parts; ++dst)
+            matrix[src][dst] =
+                edgeMin_[static_cast<std::size_t>(src) * parts + dst];
+    sched_.setEdgeLookahead(std::move(matrix));
+}
+
+void
 Fabric::setNodeDown(NodeId node, bool down)
 {
     if (down_.size() <= node)

@@ -116,6 +116,31 @@ class Fabric
         return node < partitionOf_.size() ? partitionOf_[node] : 0;
     }
 
+    /**
+     * Declare that messages flow @p from -> @p to with minimum
+     * one-way latency @p minLatency (default: the config floor every
+     * sampled delay respects). Call after both nodes' setPartition.
+     *
+     * Declarations feed the scheduler's per-edge lookahead matrix:
+     * each partition's conservative window bound is derived from the
+     * links that actually cross into it, so partition pairs with no
+     * declared route stop constraining each other (their effective
+     * lookahead becomes the shortest multi-hop path — e.g. in fig6's
+     * hub topology two client partitions only reach each other
+     * through storage, doubling their mutual lookahead). Wiring code
+     * MUST declare every cross-partition route it will use: the
+     * scheduler PANICs on a post along an undeclared edge.
+     */
+    void declareRoute(NodeId from, NodeId to, Duration minLatency = 0);
+
+    /**
+     * Install the lookahead matrix built from declareRoute() calls
+     * into the scheduler. No-op when nothing was declared (the
+     * scheduler keeps its all-pairs default). Driver thread, before
+     * the first run.
+     */
+    void applyLookahead();
+
     // Cluster-wide fault state (quiescent mutation only; see above).
     void setNodeDown(NodeId node, bool down);
     bool
@@ -140,6 +165,10 @@ class Fabric
     NetConfig config_;
     std::vector<Network *> nets_;
     std::vector<std::uint32_t> partitionOf_;
+    /** Per-partition-pair link minimum from declareRoute(), indexed
+     *  src * P + dst; kNoEdge where nothing was declared. */
+    std::vector<Duration> edgeMin_;
+    bool anyRoute_ = false;
     std::vector<bool> down_;
     /** Directed: (from, to) present = that leg drops messages. */
     std::set<std::pair<NodeId, NodeId>> brokenLinks_;

@@ -71,13 +71,9 @@ EventQueue::schedule(Time when, const common::TraceContext &ctx,
 }
 
 Time
-EventQueue::nextTime() const
+EventQueue::nextTimeEmpty() const
 {
-    if (bucketHead_ < bucket_.size())
-        return curTime_;
-    if (heap_.empty())
-        PANIC("nextTime() on empty event queue");
-    return heap_.front().when;
+    PANIC("nextTime() on empty event queue");
 }
 
 Event

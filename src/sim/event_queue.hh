@@ -78,12 +78,23 @@ class EventQueue
     }
 
     /** Time of the earliest pending event. Queue must be non-empty. */
-    Time nextTime() const;
+    Time
+    nextTime() const
+    {
+        if (bucketHead_ < bucket_.size())
+            return curTime_;
+        if (!heap_.empty())
+            return heap_.front().when;
+        return nextTimeEmpty(); // out-of-line PANIC
+    }
 
     /** Remove and return the earliest pending event. */
     Event pop();
 
   private:
+    /** Cold path of nextTime(): always PANICs (queue empty). */
+    [[noreturn]] Time nextTimeEmpty() const;
+
     /** Children per heap node. */
     static constexpr std::size_t kArity = 4;
 

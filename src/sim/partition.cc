@@ -7,6 +7,55 @@
 
 namespace sim {
 
+namespace {
+
+/** Spins before a worker (or the driver) falls back to a futex wait.
+ *  Windows are microseconds of work apart on a loaded run, so a short
+ *  spin usually catches the flag without a syscall; an idle run parks
+ *  in the kernel instead of burning a core. */
+constexpr int kSpinRounds = 4096;
+
+/** Spinning only helps when the thread being waited for can make
+ *  progress on another core; oversubscribed (workers + driver > CPUs)
+ *  it just burns the quantum the peer needs, so park immediately. */
+inline int
+spinBudget(std::uint32_t threads)
+{
+    const unsigned cpus = std::thread::hardware_concurrency();
+    return cpus > threads ? kSpinRounds : 0;
+}
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+}
+
+/** Spin-then-futex wait until @p a != @p seen; returns the new value. */
+inline std::uint64_t
+spinWaitChange(const std::atomic<std::uint64_t> &a, std::uint64_t seen,
+               int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        const std::uint64_t v = a.load(std::memory_order_acquire);
+        if (v != seen)
+            return v;
+        cpuRelax();
+    }
+    for (;;) {
+        a.wait(seen, std::memory_order_acquire);
+        const std::uint64_t v = a.load(std::memory_order_acquire);
+        if (v != seen)
+            return v;
+    }
+}
+
+} // namespace
+
 PartitionedScheduler::PartitionedScheduler(std::uint32_t partitions,
                                            std::uint32_t threads,
                                            Duration lookahead)
@@ -20,16 +69,27 @@ PartitionedScheduler::PartitionedScheduler(std::uint32_t partitions,
         PANIC("PartitionedScheduler lookahead must be positive, got "
               << lookahead);
     sims_.reserve(partitions);
-    mail_.reserve(partitions);
+    mail_.resize(static_cast<std::size_t>(partitions) * partitions);
     postSeq_.assign(partitions, 0);
+    // Default topology: every pair linked at the global lookahead —
+    // the pre-matrix behaviour. setEdgeLookahead() tightens it.
+    edgeLa_.assign(static_cast<std::size_t>(partitions) * partitions,
+                   lookahead);
+    partBound_.assign(partitions, -1);
+    nextTime_.assign(partitions, 0);
+    bounds_.assign(partitions, 0);
+    active_.reserve(partitions);
     eventsRun_.assign(partitions, 0);
     mailMerged_.assign(partitions, 0);
     prevEvents_.assign(partitions, 0);
     prevMail_.assign(partitions, 0);
-    for (std::uint32_t p = 0; p < partitions; ++p) {
+    for (std::uint32_t p = 0; p < partitions; ++p)
         sims_.push_back(std::make_unique<Simulator>());
-        mail_.push_back(std::make_unique<Mailbox>());
-    }
+    recomputeClosure();
+    directPost_ = threads_ == 1;
+    // Workers + the waiting driver all need cores at once at a
+    // barrier; spin only when the machine actually has them.
+    spinRounds_ = spinBudget(threads_);
     if (threads_ > 1) {
         workers_.reserve(threads_);
         for (std::uint32_t i = 0; i < threads_; ++i)
@@ -40,14 +100,70 @@ PartitionedScheduler::PartitionedScheduler(std::uint32_t partitions,
 PartitionedScheduler::~PartitionedScheduler()
 {
     if (!workers_.empty()) {
-        {
-            std::lock_guard<std::mutex> lk(mu_);
-            shutdown_ = true;
-        }
-        cvStart_.notify_all();
+        shutdown_.store(true, std::memory_order_release);
+        startGen_.fetch_add(1, std::memory_order_release);
+        startGen_.notify_all();
         for (std::thread &w : workers_)
             w.join();
     }
+}
+
+void
+PartitionedScheduler::setEdgeLookahead(
+    std::vector<std::vector<Duration>> matrix)
+{
+    const std::size_t parts = sims_.size();
+    if (matrix.size() != parts)
+        PANIC("lookahead matrix must be " << parts << "x" << parts);
+    for (std::size_t src = 0; src < parts; ++src) {
+        if (matrix[src].size() != parts)
+            PANIC("lookahead matrix row " << src << " has "
+                  << matrix[src].size() << " entries, want " << parts);
+        for (std::size_t dst = 0; dst < parts; ++dst) {
+            const Duration la = matrix[src][dst];
+            if (src == dst)
+                continue; // local events never cross a mailbox
+            if (la <= 0)
+                PANIC("lookahead matrix [" << src << "][" << dst
+                      << "] must be positive or kNoEdge, got " << la);
+            edgeLa_[src * parts + dst] = std::min(la, kNoEdge);
+        }
+    }
+    recomputeClosure();
+}
+
+void
+PartitionedScheduler::recomputeClosure()
+{
+    const std::size_t parts = sims_.size();
+    // Min-plus Floyd-Warshall over the cross-partition link graph.
+    // The diagonal starts at infinity (an event does not need a
+    // message to stay home), so closure_[p][p] relaxes to the
+    // shortest cycle out of p and back — the earliest p's own future
+    // events could echo back into it.
+    closure_.assign(parts * parts, kNoEdge);
+    for (std::size_t src = 0; src < parts; ++src)
+        for (std::size_t dst = 0; dst < parts; ++dst)
+            if (src != dst)
+                closure_[src * parts + dst] =
+                    edgeLa_[src * parts + dst];
+    for (std::size_t k = 0; k < parts; ++k)
+        for (std::size_t i = 0; i < parts; ++i) {
+            const Duration ik = closure_[i * parts + k];
+            if (ik >= kNoEdge)
+                continue;
+            for (std::size_t j = 0; j < parts; ++j) {
+                const Duration kj = closure_[k * parts + j];
+                if (kj >= kNoEdge)
+                    continue;
+                Duration &ij = closure_[i * parts + j];
+                ij = std::min(ij, ik + kj);
+            }
+        }
+    closureT_.assign(parts * parts, kNoEdge);
+    for (std::size_t src = 0; src < parts; ++src)
+        for (std::size_t dst = 0; dst < parts; ++dst)
+            closureT_[dst * parts + src] = closure_[src * parts + dst];
 }
 
 void
@@ -57,29 +173,78 @@ PartitionedScheduler::post(std::uint32_t src, std::uint32_t dst,
 {
     if (dst >= sims_.size())
         PANIC("post to unknown partition " << dst);
+    if (edgeLa_[src * sims_.size() + dst] >= kNoEdge)
+        PANIC("post along undeclared edge " << src << " -> " << dst
+              << " (fix the lookahead matrix / declared routes)");
+    // The conservative schedule let dst run through partBound_[dst]
+    // already; an event at or before it would land in dst's past.
+    // partBound_ is published to workers by the window-start barrier
+    // and stable while they run.
+    if (when <= partBound_[dst])
+        PANIC("post " << src << " -> " << dst << " at " << when
+              << " is inside partition " << dst
+              << "'s completed window (bound " << partBound_[dst]
+              << "): delay below the edge lookahead");
+    // Single-threaded: skip the mailbox round-trip and enqueue
+    // directly. Execution order (ascending partition index, srcSeq
+    // within a source) enqueues same-instant events in the merge
+    // sort's (when, src, srcSeq) order, so the schedule is byte-
+    // identical to the threaded path (see header).
+    if (directPost_) {
+        ++mailMerged_[dst];
+        if (when < nextTime_[dst])
+            nextTime_[dst] = when;
+        sims_[dst]->scheduleAtWithContext(when, ctx, std::move(fn));
+        return;
+    }
     // The (src, srcSeq) pair makes the merge order total and thread-
-    // timing independent; srcSeq is src-thread-confined (see header).
+    // timing independent; srcSeq and the buffer are src-thread-
+    // confined (see header).
     const std::uint64_t seq = postSeq_[src]++;
-    Mailbox &mb = *mail_[dst];
-    std::lock_guard<std::mutex> lk(mb.mu);
-    mb.incoming.push_back({when, src, seq, ctx, std::move(fn)});
+    std::vector<RemoteEvent> &buf = mail_[src * sims_.size() + dst];
+    if (buf.empty() && dst < 64)
+        dirtyMask_.fetch_or(std::uint64_t{1} << dst,
+                            std::memory_order_relaxed);
+    buf.push_back({when, src, seq, ctx, std::move(fn)});
+}
+
+void
+PartitionedScheduler::refreshNextTime(std::size_t p)
+{
+    Simulator &sim = *sims_[p];
+    nextTime_[p] =
+        sim.pendingEvents() != 0 ? sim.nextEventTime() : kNoEdge;
 }
 
 void
 PartitionedScheduler::mergeMailboxes()
 {
-    for (std::uint32_t dst = 0; dst < mail_.size(); ++dst) {
-        Mailbox &mb = *mail_[dst];
-        {
-            std::lock_guard<std::mutex> lk(mb.mu);
-            if (mb.incoming.empty())
+    const std::size_t parts = sims_.size();
+    // The dirty mask narrows the scan to destinations that actually
+    // received posts; partitions beyond bit 63 are always scanned.
+    const std::uint64_t mask =
+        dirtyMask_.exchange(0, std::memory_order_relaxed);
+    if (mask == 0 && parts <= 64)
+        return;
+    for (std::size_t dst = 0; dst < parts; ++dst) {
+        if (dst < 64 && (mask & (std::uint64_t{1} << dst)) == 0)
+            continue;
+        draining_.clear();
+        for (std::size_t src = 0; src < parts; ++src) {
+            std::vector<RemoteEvent> &buf = mail_[src * parts + dst];
+            if (buf.empty())
                 continue;
-            mb.incoming.swap(mb.draining);
+            for (RemoteEvent &ev : buf)
+                draining_.push_back(std::move(ev));
+            buf.clear(); // keeps capacity for the next window
         }
-        mailMerged_[dst] += mb.draining.size();
-        // Canonical order: the interleaving concurrent posters produced
-        // under the mutex is thread-timing dependent; this key is not.
-        std::sort(mb.draining.begin(), mb.draining.end(),
+        if (draining_.empty())
+            continue;
+        mailMerged_[dst] += draining_.size();
+        // Canonical order: the per-edge buffers arrive in post order
+        // per source, but sources interleave arbitrarily; this key
+        // does not depend on thread timing.
+        std::sort(draining_.begin(), draining_.end(),
                   [](const RemoteEvent &a, const RemoteEvent &b) {
                       if (a.when != b.when)
                           return a.when < b.when;
@@ -88,32 +253,54 @@ PartitionedScheduler::mergeMailboxes()
                       return a.srcSeq < b.srcSeq;
                   });
         Simulator &sim = *sims_[dst];
-        for (RemoteEvent &ev : mb.draining)
+        for (RemoteEvent &ev : draining_) {
+            if (ev.when <= partBound_[dst])
+                PANIC("merged event for partition " << dst << " at "
+                      << ev.when << " is at or before its completed "
+                      << "window bound " << partBound_[dst]
+                      << " — lookahead matrix understates an edge");
             sim.scheduleAtWithContext(ev.when, ev.ctx, std::move(ev.fn));
-        mb.draining.clear(); // keeps capacity for the next window
+        }
+        draining_.clear();
+        refreshNextTime(dst);
     }
 }
 
 std::uint64_t
-PartitionedScheduler::runWindow(Time bound)
+PartitionedScheduler::runWindow()
 {
-    if (workers_.empty()) {
+    // A single-partition window has no parallelism to exploit, so
+    // the driver runs it inline instead of paying a worker wake-up
+    // (most windows on sparse schedules). Safe with a pool: workers
+    // are parked between generations, the previous barrier ordered
+    // their writes before these reads, and the next startGen_ bump
+    // publishes ours. Which thread executes a window never affects
+    // the schedule, so this costs nothing in determinism.
+    if (active_.size() >= 2)
+        ++barriers_; // counted even inline, so the stat is identical
+                     // for every thread count
+    if (workers_.empty() || active_.size() == 1) {
         std::uint64_t n = 0;
-        for (std::size_t p = 0; p < sims_.size(); ++p) {
-            const std::uint64_t e = sims_[p]->runUntil(bound);
+        for (const std::uint32_t p : active_) {
+            const std::uint64_t e = sims_[p]->runUntil(bounds_[p]);
             eventsRun_[p] += e;
             n += e;
         }
         return n;
     }
-    std::unique_lock<std::mutex> lk(mu_);
-    windowBound_ = bound;
+    // Sense-reversing barrier: publish the window (bounds_, active_,
+    // partBound_ are plain data made visible by the release bump of
+    // startGen_), let workers claim partitions, then wait for the
+    // last one to flip doneGen_.
     cursor_.store(0, std::memory_order_relaxed);
     windowProcessed_.store(0, std::memory_order_relaxed);
-    pendingWorkers_ = static_cast<std::uint32_t>(workers_.size());
-    ++generation_;
-    cvStart_.notify_all();
-    cvDone_.wait(lk, [this] { return pendingWorkers_ == 0; });
+    remaining_.store(static_cast<std::uint32_t>(workers_.size()),
+                     std::memory_order_relaxed);
+    const std::uint64_t gen =
+        startGen_.fetch_add(1, std::memory_order_release) + 1;
+    startGen_.notify_all();
+    if (doneGen_.load(std::memory_order_acquire) != gen)
+        spinWaitChange(doneGen_, gen - 1, spinRounds_);
     return windowProcessed_.load(std::memory_order_relaxed);
 }
 
@@ -122,35 +309,27 @@ PartitionedScheduler::workerLoop()
 {
     std::uint64_t seen = 0;
     for (;;) {
-        Time bound;
-        {
-            std::unique_lock<std::mutex> lk(mu_);
-            cvStart_.wait(lk, [this, seen] {
-                return shutdown_ || generation_ != seen;
-            });
-            if (shutdown_)
-                return;
-            seen = generation_;
-            bound = windowBound_;
-        }
+        seen = spinWaitChange(startGen_, seen, spinRounds_);
+        if (shutdown_.load(std::memory_order_acquire))
+            return;
         std::uint64_t n = 0;
         for (;;) {
-            const std::uint32_t p =
+            const std::uint32_t i =
                 cursor_.fetch_add(1, std::memory_order_relaxed);
-            if (p >= sims_.size())
+            if (i >= active_.size())
                 break;
-            const std::uint64_t e = sims_[p]->runUntil(bound);
+            const std::uint32_t p = active_[i];
+            const std::uint64_t e = sims_[p]->runUntil(bounds_[p]);
             // Safe: exactly one worker holds p this window, and the
-            // barrier's mutex hand-off orders windows and the
-            // driver's profile reads.
+            // barrier hand-off orders windows and the driver's
+            // profile reads.
             eventsRun_[p] += e;
             n += e;
         }
         windowProcessed_.fetch_add(n, std::memory_order_relaxed);
-        {
-            std::lock_guard<std::mutex> lk(mu_);
-            if (--pendingWorkers_ == 0)
-                cvDone_.notify_one();
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            doneGen_.store(seen, std::memory_order_release);
+            doneGen_.notify_all();
         }
     }
 }
@@ -160,47 +339,126 @@ PartitionedScheduler::runUntil(Time t)
 {
     if (t < now_)
         PANIC("PartitionedScheduler::runUntil into the past");
+    const std::size_t parts = sims_.size();
     std::uint64_t processed = 0;
-    for (;;) {
-        // Merge first: the last window's posts may hold the earliest
-        // pending event.
+    // Merge first: the last run's leftover posts may hold the
+    // earliest pending event (direct-post mode has no mailboxes to
+    // merge). Then refresh the whole next-time cache once — harness
+    // code may have scheduled into any partition since the last run;
+    // inside the loop only partitions that ran or received posts are
+    // re-queried.
+    if (!directPost_)
         mergeMailboxes();
-        bool any = false;
-        Time lb = 0;
-        for (auto &sim : sims_) {
-            if (sim->pendingEvents() == 0)
-                continue;
-            // Safe single-threaded: no window is running here.
-            const Time next = sim->nextEventTime();
-            if (!any || next < lb)
-                lb = next;
-            any = true;
-        }
-        if (!any || lb > t)
+    for (std::size_t p = 0; p < parts; ++p)
+        refreshNextTime(p);
+    for (;;) {
+        Time lb = nextTime_[0];
+        for (std::size_t p = 1; p < parts; ++p)
+            lb = std::min(lb, nextTime_[p]);
+        if (lb > t) // kNoEdge everywhere == nothing pending
             break;
-        // Window [lb, lb + lookahead), capped at t (inclusive bound
-        // for Simulator::runUntil, hence the -1).
-        const Time bound = std::min(t, lb + lookahead_ - 1);
-        if (profileInterval_ > 0) {
-            const auto wall0 = std::chrono::steady_clock::now();
-            processed += runWindow(bound);
+        // Per-partition window bounds: p may run through every
+        // instant no chain of future cross-partition events can
+        // reach. A chain starts at some partition q's next pending
+        // event and needs at least SP(q -> p) to arrive, so
+        //   bound(p) = min(t, min_q(next(q) + SP(q -> p)) - 1).
+        // Empty partitions (next = infinity) constrain nobody — that
+        // is the idle-gap skip. Inclusive Simulator::runUntil, hence
+        // the -1. The inner scan is branchless on purpose: vacuous
+        // terms saturate at >= kNoEdge (both operands are capped at
+        // kNoEdge = Time max / 4, so the sum cannot overflow) and
+        // lose every min against a real constraint.
+        active_.clear();
+        Time newNow = t;
+        for (std::size_t p = 0; p < parts; ++p) {
+            const Duration *row = closureT_.data() + p * parts;
+            Time arrival = kNoEdge + kNoEdge;
+            for (std::size_t q = 0; q < parts; ++q)
+                arrival = std::min(arrival, nextTime_[q] + row[q]);
+            const Time bound =
+                arrival >= kNoEdge ? t : std::min(t, arrival - 1);
+            bounds_[p] = bound;
+            newNow = std::min(newNow, bound);
+            // Skip partitions with nothing to run this window; their
+            // clocks lag, which no code can observe (a simulator's
+            // clock only advances while it executes, and posts are
+            // stamped with the sender's clock). partBound_ stays
+            // monotone for the post() causality check.
+            if (nextTime_[p] <= bound) {
+                active_.push_back(static_cast<std::uint32_t>(p));
+                partBound_[p] = bound;
+            } else if (bound > partBound_[p]) {
+                partBound_[p] = bound;
+            }
+        }
+        const bool prof = profileInterval_ > 0;
+        std::chrono::steady_clock::time_point wall0;
+        if (prof)
+            wall0 = std::chrono::steady_clock::now();
+        processed += runWindow();
+        // Partitions that ran have new queue heads; destinations of
+        // in-window posts were min-updated by post() (threads == 1)
+        // or are refreshed by the merge below.
+        for (const std::uint32_t p : active_)
+            refreshNextTime(p);
+        if (!directPost_)
+            mergeMailboxes();
+        // Sole-active extension: while one partition holds the only
+        // runnable events, re-deriving just ITS bound from the live
+        // next-times (its posts min-update them, so every fresh
+        // constraint is visible) and running it further is observably
+        // identical to granting it a run of consecutive windows —
+        // within a window partitions' event sets are disjoint and
+        // non-interacting, so deferring the others costs nothing and
+        // the whole run commits as one window. This is what makes
+        // ping-pong phases (populate, a lone hot partition) cheap:
+        // the O(P^2) pass, the accounting and the profile tick all
+        // amortize over the batch.
+        if (active_.size() == 1) {
+            const std::uint32_t q = active_[0];
+            const Duration *row = closureT_.data() + q * parts;
+            for (;;) {
+                Time arrival = kNoEdge + kNoEdge;
+                for (std::size_t r = 0; r < parts; ++r)
+                    arrival =
+                        std::min(arrival, nextTime_[r] + row[r]);
+                const Time bq =
+                    arrival >= kNoEdge ? t : std::min(t, arrival - 1);
+                if (nextTime_[q] > bq)
+                    break;
+                if (bq > partBound_[q])
+                    partBound_[q] = bq;
+                const std::uint64_t e = sims_[q]->runUntil(bq);
+                eventsRun_[q] += e;
+                processed += e;
+                refreshNextTime(q);
+                if (!directPost_)
+                    mergeMailboxes();
+            }
+        }
+        if (prof)
             windowWallNs_ += static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - wall0)
                     .count());
-        } else {
-            processed += runWindow(bound);
-        }
         ++windowsRun_;
-        now_ = bound;
+        // Reference-window accounting: the fixed-width scheduler
+        // would have crossed one barrier per lookahead_ between the
+        // old and new global bound; we crossed one.
+        const Time advance = newNow - now_;
+        if (advance > lookahead_)
+            windowsSkipped_ +=
+                static_cast<std::uint64_t>((advance - 1) / lookahead_);
+        now_ = newNow;
         profileTick();
     }
     // Align every partition's clock with the requested horizon (no
     // events remain at or before t).
-    for (std::size_t p = 0; p < sims_.size(); ++p) {
+    for (std::size_t p = 0; p < parts; ++p) {
         const std::uint64_t e = sims_[p]->runUntil(t);
         eventsRun_[p] += e;
         processed += e;
+        partBound_[p] = std::max(partBound_[p], t);
     }
     now_ = t;
     profileTick();
@@ -229,8 +487,8 @@ PartitionedScheduler::pendingEvents() const
     std::size_t n = 0;
     for (const auto &sim : sims_)
         n += sim->pendingEvents();
-    for (const auto &mb : mail_)
-        n += mb->incoming.size();
+    for (const auto &buf : mail_)
+        n += buf.size();
     return n;
 }
 
@@ -240,10 +498,21 @@ PartitionedScheduler::alignNow()
     Time t = now_;
     for (const auto &sim : sims_)
         t = std::max(t, sim->now());
-    for (std::size_t p = 0; p < sims_.size(); ++p)
+    for (std::size_t p = 0; p < sims_.size(); ++p) {
         eventsRun_[p] += sims_[p]->runUntil(t);
+        partBound_[p] = std::max(partBound_[p], t);
+    }
     now_ = t;
     profileTick();
+}
+
+std::uint64_t
+PartitionedScheduler::eventsExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const std::uint64_t e : eventsRun_)
+        n += e;
+    return n;
 }
 
 void
@@ -265,6 +534,8 @@ PartitionedScheduler::enableProfile(Duration interval,
     prevEvents_ = eventsRun_;
     prevMail_ = mailMerged_;
     prevWindows_ = windowsRun_;
+    prevSkipped_ = windowsSkipped_;
+    prevBarriers_ = barriers_;
     prevWallNs_ = windowWallNs_;
 }
 
@@ -289,6 +560,8 @@ PartitionedScheduler::emitProfileRow(Time end)
         row.windowStart = profileRowEnd_;
         row.windowEnd = end;
         row.windows = windowsRun_ - prevWindows_;
+        row.skipped = windowsSkipped_ - prevSkipped_;
+        row.barriers = barriers_ - prevBarriers_;
         row.wallNs = windowWallNs_ - prevWallNs_;
         row.events.resize(sims_.size());
         row.mailbox.resize(sims_.size());
@@ -301,6 +574,8 @@ PartitionedScheduler::emitProfileRow(Time end)
     prevEvents_ = eventsRun_;
     prevMail_ = mailMerged_;
     prevWindows_ = windowsRun_;
+    prevSkipped_ = windowsSkipped_;
+    prevBarriers_ = barriers_;
     prevWallNs_ = windowWallNs_;
     profileRowEnd_ = end;
 }

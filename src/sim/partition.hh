@@ -11,40 +11,57 @@
  *    queue, BlockPool, clock). Code running inside a partition never
  *    touches another partition's simulator directly.
  *
- *  - Cross-partition interaction goes through thread-safe mailboxes
- *    (post()). A posted event must fire at least `lookahead` after the
- *    sender's current window — in practice lookahead is the network's
- *    minimum link latency (net::NetConfig::minLatency), which every
- *    cross-partition message delay respects by construction.
+ *  - Cross-partition interaction goes through single-writer mailbox
+ *    buffers (post()). A posted event must fire after the receiving
+ *    partition's current window — in practice every post's delay is at
+ *    least the minimum latency of the (src, dst) link it models, which
+ *    is exactly what the lookahead matrix below encodes.
  *
- *  - The window loop: merge mailboxes, compute the global lower bound
- *    LB = min over partitions of the next event time, then let every
- *    partition advance independently through [LB, LB + lookahead).
- *    Any message generated inside the window is stamped at or after
- *    its sender's current time plus lookahead, i.e. at or after the
- *    window end — so no partition can receive an event in its past,
- *    and each window is embarrassingly parallel.
+ *  - The window loop (adaptive bounds): merge mailboxes, then give
+ *    every partition p its own window bound
+ *
+ *        bound(p) = min over partitions q of
+ *                     nextEventTime(q) + SP(q -> p)  - 1
+ *
+ *    where SP is the min-plus shortest-path closure of the per-edge
+ *    lookahead matrix (including cycles back into p itself). bound(p)
+ *    is the last instant provably unreachable by any future
+ *    cross-partition message into p, so p may run that far without
+ *    hearing from anyone. Partitions with no runnable events skip the
+ *    window entirely; empty partitions (no pending events) constrain
+ *    nobody, which is what collapses idle gaps — the scheduler jumps
+ *    straight to the next populated instant instead of crossing one
+ *    barrier per lookahead of simulated time.
  *
  * Determinism (see CONCURRENCY.md): results are byte-identical for
- * every worker-thread count, because (a) partition assignment and the
- * window schedule depend only on event timestamps, never on thread
- * timing; (b) mailbox items are merged in the total order
- * (when, source partition, per-source sequence), erasing the arrival
- * interleaving of concurrent posters; (c) each partition's queue then
- * breaks same-instant ties with its own (when, seq) order as usual.
+ * every worker-thread count, because (a) partition assignment, the
+ * lookahead matrix and the window schedule depend only on topology and
+ * event timestamps, never on thread timing; (b) mailbox items are
+ * merged in the total order (when, source partition, per-source
+ * sequence), erasing the arrival interleaving of concurrent posters;
+ * (c) each partition's queue then breaks same-instant ties with its
+ * own (when, seq) order as usual.
  *
  * threads == 1 runs the window loop inline on the calling thread with
- * no pool at all — the mode CTest uses as the determinism reference.
+ * no pool, no atomics and no barrier; post() then schedules straight
+ * into the destination queue (same canonical order — see post()), so
+ * the mailbox machinery costs nothing in the mode CTest uses as the
+ * determinism reference. threads >= 2 dispatches windows through a
+ * sense-reversing atomic barrier (bounded spin, then futex via
+ * std::atomic::wait) instead of a mutex/condvar round-trip — and only
+ * when a window has two or more runnable partitions: single-partition
+ * windows cannot parallelize, so the driver runs them inline and the
+ * workers never wake. barriersCrossed() counts the windows that
+ * actually paid for a wake-up.
  */
 
 #ifndef SIM_PARTITION_HH
 #define SIM_PARTITION_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -57,14 +74,22 @@ namespace sim {
 class PartitionedScheduler
 {
   public:
+    /** Matrix entry for "no link ever crosses src -> dst". Kept far
+     *  from the Time ceiling so closure sums cannot overflow. */
+    static constexpr Duration kNoEdge =
+        std::numeric_limits<Duration>::max() / 4;
+
     /**
      * @param partitions Number of partitions (>= 1). Fixed by the
      *        scenario topology — NOT by the thread count — so results
      *        do not depend on how many workers execute the windows.
      * @param threads    Worker threads (clamped to [1, partitions]).
      *        1 = run windows inline, no pool.
-     * @param lookahead  Minimum cross-partition event delay (> 0); the
-     *        window width. post() targets below it are a bug.
+     * @param lookahead  Minimum cross-partition event delay (> 0).
+     *        Every (src, dst) pair starts at this value; topologies
+     *        with fewer links tighten it via setEdgeLookahead(). Also
+     *        the reference window width the windows-skipped counter is
+     *        denominated in.
      */
     PartitionedScheduler(std::uint32_t partitions, std::uint32_t threads,
                          Duration lookahead);
@@ -80,9 +105,40 @@ class PartitionedScheduler
     std::uint32_t threads() const { return threads_; }
     Duration lookahead() const { return lookahead_; }
 
+    /**
+     * Install the per-edge lookahead matrix: @p matrix[src][dst] is
+     * the minimum delay of any event ever posted src -> dst (kNoEdge
+     * when no link crosses that pair; the diagonal is ignored — local
+     * events do not go through mailboxes). Consistency with the
+     * constructor lookahead is NOT required — any positive value
+     * works — but every post() must respect its edge's entry.
+     * Driver thread, windows quiescent. Recomputes the min-plus
+     * closure used for window bounds.
+     */
+    void setEdgeLookahead(std::vector<std::vector<Duration>> matrix);
+
+    /** Direct (src, dst) matrix entry — the tightest delay a post
+     *  along that edge may use. kNoEdge when the pair has no link. */
+    Duration edgeLookahead(std::uint32_t src, std::uint32_t dst) const
+    {
+        return edgeLa_[src * sims_.size() + dst];
+    }
+
+    /**
+     * Min-plus closure SP(src -> dst): the earliest a chain of events
+     * starting in @p src can reach @p dst through any sequence of
+     * links, including src == dst (shortest cycle out and back). This
+     * is what window bounds are computed from.
+     */
+    Duration effectiveLookahead(std::uint32_t src,
+                                std::uint32_t dst) const
+    {
+        return closure_[src * sims_.size() + dst];
+    }
+
     Simulator &partition(std::uint32_t p) { return *sims_[p]; }
 
-    /** Scenario time: the bound every partition has been run to. */
+    /** Scenario time: every partition is provably past this instant. */
     Time now() const { return now_; }
 
     /**
@@ -90,9 +146,17 @@ class PartitionedScheduler
      * at absolute time @p when, under TraceContext @p ctx. Must be
      * called from the thread currently executing partition @p src (or
      * from the driver thread while no window is running). @p when must
-     * be at or after the end of the current window — guaranteed when
-     * the delay is >= lookahead(), which the network's minimum link
-     * latency enforces for every message.
+     * be after the end of @p dst's current window — guaranteed when
+     * the delay is >= edgeLookahead(src, dst), which the network's
+     * per-link minimum latency enforces for every message. Violations
+     * PANIC (they would corrupt the conservative schedule).
+     *
+     * With threads == 1 the event goes straight into dst's queue —
+     * same observable order as the mailbox path: within a window,
+     * partitions execute in ascending index and each source posts in
+     * srcSeq order, so same-instant events are enqueued in exactly
+     * the (when, src, srcSeq) order the merge sort would have
+     * produced, and the queue's FIFO tie-break preserves it.
      */
     void post(std::uint32_t src, std::uint32_t dst, Time when,
               const common::TraceContext &ctx, Callback fn);
@@ -122,21 +186,45 @@ class PartitionedScheduler
      */
     void alignNow();
 
+    /** Barrier windows executed since construction (deterministic). */
+    std::uint64_t windowsExecuted() const { return windowsRun_; }
+    /**
+     * Reference windows elided since construction (deterministic):
+     * for every barrier, the number of whole constructor-lookahead
+     * widths the global bound advanced beyond the first one. This is
+     * exactly how many extra barriers the fixed-width scheduler of
+     * old would have crossed for the same schedule.
+     */
+    std::uint64_t windowsSkipped() const { return windowsSkipped_; }
+    /**
+     * Multi-partition windows since construction — exactly the ones a
+     * worker pool pays a barrier wake-up for (single-partition
+     * windows always run inline on the driver). Counted identically
+     * with threads == 1, so the stat is deterministic across every
+     * thread count and safe to embed in byte-compared reports.
+     */
+    std::uint64_t barriersCrossed() const { return barriers_; }
+    /** Events executed since construction, all partitions. */
+    std::uint64_t eventsExecuted() const;
+
     /**
      * Self-profiler: one row per @p interval of simulated time, with
      * per-partition events executed and mailbox cross-traffic, the
-     * number of barrier windows run, and the wall-clock time spent
-     * inside them. Everything except wallNs is deterministic (a pure
-     * function of the event schedule); wallNs measures real barrier
-     * cost and MUST be kept out of deterministic compares. Rows are
-     * contiguous: each covers [windowStart, windowEnd) exactly, so
-     * deltas sum to the run totals. Driver thread only.
+     * number of barrier windows run (and reference windows skipped),
+     * and the wall-clock time spent inside them. Everything except
+     * wallNs is deterministic (a pure function of the event schedule);
+     * wallNs measures real barrier cost and MUST be kept out of
+     * deterministic compares. Rows are contiguous: each covers
+     * [windowStart, windowEnd) exactly, so deltas sum to the run
+     * totals. Driver thread only.
      */
     struct ProfileRow
     {
         Time windowStart = 0;
         Time windowEnd = 0;
         std::uint64_t windows = 0; ///< barrier windows completed
+        std::uint64_t skipped = 0; ///< reference windows elided
+        std::uint64_t barriers = 0; ///< worker wake-ups among them
         std::uint64_t wallNs = 0;  ///< wall clock in them (NON-DET)
         std::vector<std::uint64_t> events;  ///< per partition
         std::vector<std::uint64_t> mailbox; ///< merged-in, per dst
@@ -163,21 +251,21 @@ class PartitionedScheduler
         Callback fn;
     };
 
-    /** One per destination partition. `incoming` is guarded by `mu`;
-     *  `draining` is driver-thread scratch that recycles capacity. */
-    struct Mailbox
-    {
-        std::mutex mu;
-        std::vector<RemoteEvent> incoming;
-        std::vector<RemoteEvent> draining;
-    };
-
-    /** Drain every mailbox into its destination queue in
+    /** Drain every per-edge buffer into its destination queue in
      *  (when, src, srcSeq) order. Driver thread, windows quiescent. */
     void mergeMailboxes();
 
-    /** Run every partition up to and including @p bound. */
-    std::uint64_t runWindow(Time bound);
+    /** Re-query partition @p p's earliest pending event into
+     *  nextTime_ (kNoEdge when empty). Driver thread. */
+    void refreshNextTime(std::size_t p);
+
+    /** Recompute closure_ from edgeLa_ (min-plus Floyd-Warshall with
+     *  an infinite diagonal, so SP(p, p) is the shortest cycle). */
+    void recomputeClosure();
+
+    /** Run the partitions listed in active_, each to its bounds_
+     *  entry. Returns events processed. */
+    std::uint64_t runWindow();
 
     void workerLoop();
 
@@ -186,32 +274,88 @@ class PartitionedScheduler
     void emitProfileRow(Time end);
 
     std::vector<std::unique_ptr<Simulator>> sims_;
-    std::vector<std::unique_ptr<Mailbox>> mail_;
+
+    /**
+     * Per-(src, dst) mailbox buffers, indexed src * P + dst. Each is
+     * single-writer: only the thread currently running partition src
+     * appends (exactly one worker holds a partition per window, and
+     * the window barrier's acquire/release orders the handoff), and
+     * only the driver drains — while no window is running. No mutex,
+     * no atomics per post.
+     */
+    std::vector<std::vector<RemoteEvent>> mail_;
+    /** Driver-thread merge scratch; recycles capacity. */
+    std::vector<RemoteEvent> draining_;
+
     /** Per-source post counter; only the thread running that source
      *  partition touches it (windows hand partitions to exactly one
      *  worker, and window boundaries synchronize). */
     std::vector<std::uint64_t> postSeq_;
-    Duration lookahead_;
-    Time now_ = 0;
 
-    // Worker pool (empty when threads_ == 1: windows run inline).
+    Duration lookahead_;
+    /** Direct per-edge minimum delays, src * P + dst. */
+    std::vector<Duration> edgeLa_;
+    /** Min-plus closure of edgeLa_ (infinite diagonal -> cycles). */
+    std::vector<Duration> closure_;
+    /** closure_ transposed (dst * P + src): the bound loop walks all
+     *  sources of one destination, so this layout makes the inner
+     *  loop a sequential, branchless min-scan. */
+    std::vector<Duration> closureT_;
+
+    Time now_ = 0;
+    /**
+     * Per-partition high-water bound: the furthest instant partition p
+     * has been entitled to run to (monotone). Written by the driver
+     * between windows, read by post() for the causality check — the
+     * barrier publishes it to workers.
+     */
+    std::vector<Time> partBound_;
+
+    /**
+     * Cached next-event time per partition (kNoEdge when empty),
+     * driver thread. Fully refreshed at every runUntil/alignNow entry
+     * (setup code may schedule into partitions directly between
+     * runs), then maintained incrementally: partitions that ran are
+     * re-queried after the window, and posts/merges min-update their
+     * destination — so the window loop never polls idle partitions.
+     */
+    std::vector<Time> nextTime_;
+    std::vector<Time> bounds_;
+    std::vector<std::uint32_t> active_;
+
+    // Worker pool (empty when threads_ == 1: windows run inline, and
+    // none of the atomics below are touched).
     std::uint32_t threads_;
+    /** threads_ == 1: post() bypasses the mailboxes entirely. */
+    bool directPost_ = false;
+    /** Barrier spin budget before the futex; 0 when the machine has
+     *  no spare cores for the peer to run on (see spinBudget). */
+    int spinRounds_ = 0;
     std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable cvStart_;
-    std::condition_variable cvDone_;
-    std::uint64_t generation_ = 0;
-    std::uint32_t pendingWorkers_ = 0;
-    Time windowBound_ = 0;
-    bool shutdown_ = false;
-    /** Work-stealing cursor: workers claim partition indices. */
+    /**
+     * Bit dst set while some mail_[src * P + dst] is non-empty
+     * (partitions <= 64; larger topologies fall back to a full
+     * scan). First post to an empty buffer sets the bit (relaxed —
+     * the window barrier orders it); the driver clears it in
+     * mergeMailboxes, so the merge touches only dirty destinations.
+     */
+    std::atomic<std::uint64_t> dirtyMask_{0};
+    /** Window dispatch: bumped (release) to start a window; workers
+     *  spin briefly, then futex-wait for the change. */
+    std::atomic<std::uint64_t> startGen_{0};
+    /** Set to the generation (release) by the last worker to finish;
+     *  the driver spins briefly, then futex-waits on it. */
+    std::atomic<std::uint64_t> doneGen_{0};
+    std::atomic<std::uint32_t> remaining_{0};
+    std::atomic<bool> shutdown_{false};
+    /** Work-claiming cursor: workers claim indices into active_. */
     std::atomic<std::uint32_t> cursor_{0};
     std::atomic<std::uint64_t> windowProcessed_{0};
 
     // Self-profiler state. Cumulative counters: eventsRun_[p] is
     // written only by the thread running partition p inside a window
-    // (the barrier's mutex hand-off orders it with the driver's
-    // reads); everything else is driver-thread-only.
+    // (the barrier hand-off orders it with the driver's reads);
+    // everything else is driver-thread-only.
     Duration profileInterval_ = 0; ///< 0 = profiling off
     std::size_t profileMaxRows_ = 0;
     Time nextProfileTick_ = 0;
@@ -220,10 +364,14 @@ class PartitionedScheduler
     std::vector<std::uint64_t> eventsRun_;
     std::vector<std::uint64_t> mailMerged_;
     std::uint64_t windowsRun_ = 0;
+    std::uint64_t windowsSkipped_ = 0;
+    std::uint64_t barriers_ = 0;
     std::uint64_t windowWallNs_ = 0;
     std::vector<std::uint64_t> prevEvents_;
     std::vector<std::uint64_t> prevMail_;
     std::uint64_t prevWindows_ = 0;
+    std::uint64_t prevSkipped_ = 0;
+    std::uint64_t prevBarriers_ = 0;
     std::uint64_t prevWallNs_ = 0;
     std::vector<ProfileRow> profileRows_;
 };

@@ -211,6 +211,24 @@ Cluster::Cluster(const ClusterConfig &config)
                 device->setFaultRng(config_.chaos->forkRng());
     }
 
+    // Declare the cross-partition communication topology for the
+    // scheduler's per-edge lookahead matrix: clients talk only to
+    // storage (hub), never to each other — so client partitions
+    // constrain one another only through the two-hop path via
+    // partition 0, and idle partitions stop constraining anyone.
+    // Every node's partition is set by now; see the declareRoute
+    // contract in net/network.hh.
+    if (fabric_ != nullptr) {
+        for (std::uint32_t i = 0; i < config_.numClients; ++i) {
+            const common::NodeId c = 1000 + i;
+            for (const auto &server : servers_) {
+                fabric_->declareRoute(c, server->nodeId());
+                fabric_->declareRoute(server->nodeId(), c);
+            }
+        }
+        fabric_->applyLookahead();
+    }
+
     if (config_.trace != nullptr)
         attachTracers();
     if (config_.metrics != nullptr)
@@ -530,11 +548,30 @@ Cluster::finishMetrics()
         p.value = static_cast<double>(row.windows);
         log.addPoint("sched.windows", 0, common::SeriesKind::Counter,
                      p);
+        p.value = static_cast<double>(row.skipped);
+        log.addPoint("sched.windows_skipped", 0,
+                     common::SeriesKind::Counter, p);
+        p.value = static_cast<double>(row.barriers);
+        log.addPoint("sched.barriers", 0,
+                     common::SeriesKind::Counter, p);
         p.value = static_cast<double>(row.wallNs);
         log.addPoint("sched.window_wall_ns", 0,
                      common::SeriesKind::Counter, p,
                      /*deterministic=*/false);
     }
+}
+
+Cluster::SchedStats
+Cluster::schedStats() const
+{
+    SchedStats s;
+    if (sched_ == nullptr)
+        return s;
+    s.windows = sched_->windowsExecuted();
+    s.skipped = sched_->windowsSkipped();
+    s.barriers = sched_->barriersCrossed();
+    s.events = sched_->eventsExecuted();
+    return s;
 }
 
 Cluster::~Cluster() = default;

@@ -188,6 +188,23 @@ class Cluster : private common::ChaosSink
      */
     void finishMetrics();
 
+    /**
+     * Partitioned-scheduler self-counters (all zero in classic mode).
+     * Deterministic — pure functions of the event schedule, identical
+     * for every simThreads >= 1 — so benches may embed them in
+     * byte-compared reports to make barrier-count wins machine-
+     * readable.
+     */
+    struct SchedStats
+    {
+        std::uint64_t windows = 0;  ///< barrier windows executed
+        std::uint64_t skipped = 0;  ///< reference windows elided
+        std::uint64_t barriers = 0; ///< multi-partition windows (the
+                                    ///< only ones that wake workers)
+        std::uint64_t events = 0;   ///< events executed, all partitions
+    };
+    SchedStats schedStats() const;
+
     /** Bulk-load the key space into every replica. Run to completion
      *  before starting the workload. */
     void populate();

@@ -25,6 +25,7 @@
 #include <gtest/gtest.h>
 
 #include "../bench/bench_util.hh"
+#include "common/chaos.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "net/network.hh"
@@ -155,6 +156,138 @@ TEST(PartitionedScheduler, MailboxMergeOrdersBySrcThenSeq)
         });
     sched.runUntil(5 * kMicrosecond);
     EXPECT_EQ(order, (std::vector<std::string>{"a1", "a2", "c"}));
+}
+
+// ---------------------------------------------- lookahead closure
+
+TEST(PartitionedScheduler, ClosureHubTopology)
+{
+    // Hub-and-spoke: partition 0 is the hub, 1..3 only talk to it
+    // (the fig6 layout: storage on 0, clients on the spokes).
+    constexpr common::Duration kHubLa = 2 * kMicrosecond;
+    sim::PartitionedScheduler sched(4, 1, 1 * kMicrosecond);
+    std::vector<std::vector<common::Duration>> m(
+        4, std::vector<common::Duration>(
+               4, sim::PartitionedScheduler::kNoEdge));
+    for (std::uint32_t c = 1; c < 4; ++c) {
+        m[0][c] = kHubLa;
+        m[c][0] = kHubLa;
+    }
+    sched.setEdgeLookahead(std::move(m));
+
+    EXPECT_EQ(sched.edgeLookahead(0, 1), kHubLa);
+    // Spokes have no direct link...
+    EXPECT_EQ(sched.edgeLookahead(1, 2),
+              sim::PartitionedScheduler::kNoEdge);
+    // ...so spoke-to-spoke influence goes through the hub: 2us + 2us.
+    EXPECT_EQ(sched.effectiveLookahead(1, 2), 2 * kHubLa);
+    // Shortest cycle back into any partition is out-and-back: a spoke
+    // can only constrain its own future via the hub, 4us away — twice
+    // the slack a global all-pairs minimum would have granted.
+    EXPECT_EQ(sched.effectiveLookahead(0, 0), 2 * kHubLa);
+    EXPECT_EQ(sched.effectiveLookahead(2, 2), 2 * kHubLa);
+}
+
+TEST(PartitionedScheduler, ClosureRingTopology)
+{
+    // Directed ring 0 -> 1 -> 2 -> 3 -> 0, one hop per microsecond.
+    constexpr common::Duration kHop = 1 * kMicrosecond;
+    sim::PartitionedScheduler sched(4, 1, kHop);
+    std::vector<std::vector<common::Duration>> m(
+        4, std::vector<common::Duration>(
+               4, sim::PartitionedScheduler::kNoEdge));
+    for (std::uint32_t p = 0; p < 4; ++p)
+        m[p][(p + 1) % 4] = kHop;
+    sched.setEdgeLookahead(std::move(m));
+
+    // Forward hops accumulate; the reverse direction must go the long
+    // way around.
+    EXPECT_EQ(sched.effectiveLookahead(0, 1), kHop);
+    EXPECT_EQ(sched.effectiveLookahead(0, 3), 3 * kHop);
+    EXPECT_EQ(sched.effectiveLookahead(3, 0), kHop);
+    EXPECT_EQ(sched.edgeLookahead(0, 2),
+              sim::PartitionedScheduler::kNoEdge);
+    EXPECT_EQ(sched.effectiveLookahead(0, 2), 2 * kHop);
+    // A partition can only reach itself around the whole ring.
+    for (std::uint32_t p = 0; p < 4; ++p)
+        EXPECT_EQ(sched.effectiveLookahead(p, p), 4 * kHop);
+}
+
+// ---------------------------------------------- idle-gap skipping
+
+TEST(PartitionedScheduler, IdleGapSkipHonorsExactBound)
+{
+    // Two partitions linked both ways at 1us. Partition 0's only
+    // event sits at 10us — a 10us idle gap the adaptive engine must
+    // jump — and it posts to partition 1 at exactly the edge
+    // lookahead. Partition 1 already holds a local event at that same
+    // instant; the local event was scheduled first, so it must run
+    // first (the same-instant FIFO the mailbox merge guarantees).
+    constexpr common::Duration kLa = 1 * kMicrosecond;
+    sim::PartitionedScheduler sched(2, 1, kLa);
+    std::vector<std::vector<common::Duration>> m(
+        2, std::vector<common::Duration>(
+               2, sim::PartitionedScheduler::kNoEdge));
+    m[0][1] = m[1][0] = kLa;
+    sched.setEdgeLookahead(std::move(m));
+
+    std::vector<std::pair<Time, std::string>> got;
+    sched.partition(1).scheduleAt(11 * kMicrosecond, [&] {
+        got.emplace_back(sched.partition(1).now(), "local");
+    });
+    sched.partition(0).scheduleAt(10 * kMicrosecond, [&] {
+        sched.post(0, 1, sched.partition(0).now() + kLa,
+                   common::TraceContext{}, [&] {
+                       got.emplace_back(sched.partition(1).now(),
+                                        "posted");
+                   });
+    });
+    sched.runUntil(20 * kMicrosecond);
+
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], (std::pair<Time, std::string>{
+                          11 * kMicrosecond, "local"}));
+    EXPECT_EQ(got[1], (std::pair<Time, std::string>{
+                          11 * kMicrosecond, "posted"}));
+    // The 0..10us stretch held no events anywhere: the engine must
+    // have jumped it rather than crossing one barrier per lookahead.
+    EXPECT_GE(sched.windowsSkipped(), 5u);
+    EXPECT_LT(sched.windowsExecuted(), 10u);
+}
+
+TEST(PartitionedScheduler, PostIntoSkippedGapStillDelivers)
+{
+    // Partition 1's next local event is far away (100us). Partition 0
+    // ticks at 5us and posts for 6us — inside what, from partition
+    // 1's local queue alone, looks like a dead gap. The engine may
+    // never grant partition 1 a window past 6us before observing the
+    // post: delivery must happen at 6us, before the 100us local.
+    constexpr common::Duration kLa = 1 * kMicrosecond;
+    sim::PartitionedScheduler sched(2, 1, kLa);
+    std::vector<std::vector<common::Duration>> m(
+        2, std::vector<common::Duration>(
+               2, sim::PartitionedScheduler::kNoEdge));
+    m[0][1] = m[1][0] = kLa;
+    sched.setEdgeLookahead(std::move(m));
+
+    std::vector<std::pair<Time, std::string>> got;
+    sched.partition(1).scheduleAt(100 * kMicrosecond, [&] {
+        got.emplace_back(sched.partition(1).now(), "far");
+    });
+    sched.partition(0).scheduleAt(5 * kMicrosecond, [&] {
+        sched.post(0, 1, sched.partition(0).now() + kLa,
+                   common::TraceContext{}, [&] {
+                       got.emplace_back(sched.partition(1).now(),
+                                        "posted");
+                   });
+    });
+    sched.runUntil(200 * kMicrosecond);
+
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], (std::pair<Time, std::string>{
+                          6 * kMicrosecond, "posted"}));
+    EXPECT_EQ(got[1], (std::pair<Time, std::string>{
+                          100 * kMicrosecond, "far"}));
 }
 
 /** Two-partition Fabric: server node 7 on partition 0, client node
@@ -293,6 +426,92 @@ TEST(PartitionedCluster, ReportAndTraceBytesIdenticalAcrossSimThreads)
     EXPECT_EQ(one.first, two.first);
     EXPECT_EQ(one.second, two.second);
     const auto eight = runPartitionedCell(8);
+    EXPECT_EQ(one.first, eight.first);
+    EXPECT_EQ(one.second, eight.second);
+}
+
+/**
+ * Same cell with a chaos schedule on top. Fault mutations may only
+ * land at quiescent points, so the run façade clamps every window at
+ * ChaosEngine::nextActionAt(); the test pins that clamp down: report,
+ * trace AND the scheduler's own window/skip/barrier counters must be
+ * byte-identical for every thread count even while faults fire inside
+ * otherwise-skippable idle gaps.
+ */
+std::pair<std::string, std::string>
+runChaosCell(std::uint32_t sim_threads)
+{
+    common::TraceLog trace(1 << 15);
+    common::ChaosEngine chaos(42);
+    std::string err;
+    EXPECT_TRUE(chaos.parse(
+        "at 50ms delay all factor=8 for 100ms\n"
+        "at 80ms partition client:1 servers for 60ms",
+        &err))
+        << err;
+
+    ClusterConfig cfg;
+    cfg.numShards = 1;
+    cfg.replicasPerShard = 1;
+    cfg.numClients = 6;
+    cfg.backend = BackendKind::Mftl;
+    cfg.clocks = ClockKind::Perfect;
+    cfg.numKeys = 400;
+    cfg.seed = 2;
+    cfg.simThreads = sim_threads;
+    cfg.trace = &trace;
+    cfg.chaos = &chaos;
+
+    Cluster cluster(cfg);
+    cluster.populate();
+    cluster.start();
+
+    RetwisConfig retwis;
+    retwis.alpha = 0.8;
+    retwis.numKeys = cfg.numKeys;
+    retwis.seed = cfg.seed + 100;
+    RetwisWorkload fleet(cluster, retwis);
+    fleet.start();
+
+    cluster.runUntil(cluster.now() + 100 * kMillisecond);
+    fleet.resetMeasurement();
+    cluster.resetStats();
+    chaos.arm(cluster.now());
+    cluster.runFor(250 * kMillisecond);
+    cluster.finishTrace();
+    EXPECT_GT(chaos.injections(), 0u);
+
+    const Cluster::SchedStats sched = cluster.schedStats();
+    EXPECT_GT(sched.windows, 0u);
+    EXPECT_GT(sched.skipped, 0u);
+
+    bench::Report report("partitioned_chaos_test");
+    report.addRow()
+        .set("commits", fleet.totalCommits())
+        .set("aborts", fleet.totalAborts())
+        .set("sched_windows", sched.windows)
+        .set("sched_windows_skipped", sched.skipped)
+        .set("sched_barriers", sched.barriers)
+        .set("sched_events", sched.events);
+    report.addStats("client", cluster.clientStats(), "client.");
+    report.addStats("server", cluster.serverStats(), "server.");
+    std::ostringstream ros;
+    report.writeTo(ros);
+
+    std::ostringstream tos;
+    trace.writeJson(tos);
+    EXPECT_GT(trace.size(), 0u);
+    return {ros.str(), tos.str()};
+}
+
+TEST(PartitionedCluster, ChaosClampByteIdenticalAcrossSimThreads)
+{
+    const auto one = runChaosCell(1);
+    EXPECT_FALSE(one.first.empty());
+    const auto two = runChaosCell(2);
+    EXPECT_EQ(one.first, two.first);
+    EXPECT_EQ(one.second, two.second);
+    const auto eight = runChaosCell(8);
     EXPECT_EQ(one.first, eight.first);
     EXPECT_EQ(one.second, eight.second);
 }

@@ -292,6 +292,7 @@ main(int argc, char **argv)
     if (wantSched) {
         std::map<std::uint32_t, double> eventsByPart, mailByPart;
         double wallNs = 0.0, schedWindows = 0.0;
+        double schedSkipped = 0.0, schedBarriers = 0.0;
         bool any = false;
         for (const Series &s : series) {
             for (const Point &p : s.points) {
@@ -303,6 +304,12 @@ main(int argc, char **argv)
                     any = true;
                 } else if (s.name == "sched.windows") {
                     schedWindows += p.value;
+                    any = true;
+                } else if (s.name == "sched.windows_skipped") {
+                    schedSkipped += p.value;
+                    any = true;
+                } else if (s.name == "sched.barriers") {
+                    schedBarriers += p.value;
                     any = true;
                 } else if (s.name == "sched.window_wall_ns") {
                     wallNs += p.value;
@@ -326,12 +333,25 @@ main(int argc, char **argv)
                 totalEvents += events;
             }
             std::printf("%10s %14.0f\n", "total", totalEvents);
-            if (schedWindows > 0.0)
-                std::printf("barrier windows: %.0f (%.1f events/"
+            if (schedWindows > 0.0) {
+                std::printf("windows executed: %.0f (%.1f events/"
                             "window)%s\n",
                             schedWindows, totalEvents / schedWindows,
                             wallNs > 0.0 ? "" : " [no wall-clock "
                                                "series]");
+                // Skipped = fixed-width reference windows the adaptive
+                // engine jumped over; barriers = multi-partition
+                // windows, the only ones that ever wake workers.
+                std::printf("windows skipped: %.0f (%.1fx fewer than "
+                            "fixed-width)\n",
+                            schedSkipped,
+                            (schedWindows + schedSkipped) /
+                                schedWindows);
+                std::printf("worker barriers: %.0f (%.1f%% of "
+                            "windows)\n",
+                            schedBarriers,
+                            100.0 * schedBarriers / schedWindows);
+            }
             if (wallNs > 0.0 && schedWindows > 0.0)
                 std::printf("wall clock in windows: %.1f ms (%.1f us/"
                             "window) [non-deterministic]\n",
